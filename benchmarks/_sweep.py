@@ -1,0 +1,84 @@
+"""Shared helpers for the Tables II–V client-sweep benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from conftest import FULL_BENCH, MASTER_SEED, write_result
+from repro.experiments import DEFAULT_CLIENT_COUNTS, run_client_sweep
+from repro.paperdata import paper_speedup
+
+
+def sweep_levels(bench_workload, experiment: str) -> Sequence[int]:
+    """Which nesting levels a sweep runs at the current benchmark scale.
+
+    First-move sweeps always run both columns (the high level is the paper's
+    headline result); full-rollout sweeps only include the expensive high
+    level in full-scale sessions.
+    """
+    lo, hi = bench_workload.low_level, bench_workload.high_level
+    if experiment == "first_move" or FULL_BENCH:
+        return [lo, hi]
+    return [lo]
+
+
+def run_sweep_benchmark(
+    benchmark,
+    bench_workload,
+    bench_executor,
+    bench_cost_model,
+    results_dir,
+    dispatcher: str,
+    experiment: str,
+    result_name: str,
+    paper_table: Dict,
+):
+    """Run one Tables II–V sweep, persist its table and check its shape."""
+    levels = sweep_levels(bench_workload, experiment)
+
+    def run():
+        return run_client_sweep(
+            dispatcher,
+            experiment=experiment,
+            workload=bench_workload,
+            levels=levels,
+            client_counts=DEFAULT_CLIENT_COUNTS,
+            master_seed=MASTER_SEED,
+            executor=bench_executor,
+            cost_model=bench_cost_model,
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [sweep.render(), ""]
+    for level in levels:
+        ours = sweep.speedups[level]
+        lines.append(
+            f"measured speedups (level {level}): "
+            + ", ".join(f"{c}:{s:.1f}x" for c, s in ours.items())
+        )
+    paper_level = 3  # the paper's low level, mirrored by our low level
+    paper = {
+        clients: paper_speedup(paper_table, clients, paper_level)
+        for clients in DEFAULT_CLIENT_COUNTS
+        if clients in paper_table and paper_level in paper_table[clients]
+    }
+    lines.append(
+        "paper speedups (level 3):      "
+        + ", ".join(f"{c}:{s:.1f}x" for c, s in sorted(paper.items()))
+    )
+    write_result(results_dir, result_name, "\n".join(lines))
+    benchmark.extra_info["speedups"] = {
+        str(level): {str(c): round(s, 2) for c, s in sweep.speedups[level].items()}
+        for level in levels
+    }
+
+    # Shape checks shared by Tables II-V: speedup grows with the client count
+    # and is clearly super-unitary at 64 clients.
+    for level in levels:
+        speedups = sweep.speedups[level]
+        assert speedups[1] == 1.0
+        assert speedups[4] > 2.0
+        assert speedups[64] > speedups[8]
+        assert speedups[64] > 10.0
+    return sweep

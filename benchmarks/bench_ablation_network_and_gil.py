@@ -1,0 +1,99 @@
+"""Ablations: network-latency sensitivity and the thread-vs-process GIL effect.
+
+* **Latency** — the speedup of the cluster algorithms depends on client jobs
+  being much longer than a message round-trip; sweeping the simulated latency
+  quantifies that margin.
+* **GIL** — the reason this reproduction simulates the cluster instead of
+  using Python threads: a thread pool gives essentially no speedup for the
+  pure-Python searches, while a process pool does.  Measured with real wall
+  clock on the local machine.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from conftest import MASTER_SEED, write_result
+from repro.analysis.timefmt import format_hms
+from repro.cluster.network import NetworkModel
+from repro.cluster.topology import homogeneous_cluster
+from repro.games.weakschur import WeakSchurState
+from repro.parallel.config import ParallelConfig
+from repro.parallel.driver import run_parallel_nmcs
+from repro.parallel.multiproc import multiprocessing_nmcs
+from repro.parallel.threads import threaded_nmcs
+from repro.core.nested import nested_search
+from repro.prng import SeedSequence
+
+
+@pytest.mark.benchmark(group="ablation-latency")
+def test_ablation_network_latency(
+    benchmark, bench_workload, bench_executor, bench_cost_model, results_dir
+):
+    cluster = homogeneous_cluster(32)
+    latencies_ms = (0.0, 0.05, 1.0, 10.0)
+
+    def run():
+        times = {}
+        for latency in latencies_ms:
+            network = (
+                NetworkModel.instantaneous() if latency == 0.0 else NetworkModel.slow(latency_ms=latency)
+            )
+            config = ParallelConfig(
+                level=bench_workload.low_level, max_root_steps=1, master_seed=MASTER_SEED
+            )
+            run_result = run_parallel_nmcs(
+                bench_workload.state(), config, cluster,
+                executor=bench_executor, cost_model=bench_cost_model, network=network,
+            )
+            times[latency] = run_result.simulated_seconds
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "Network latency ablation (32 clients, low level, first move)\n" + "\n".join(
+        f"latency {latency:6.2f} ms: {format_hms(seconds)}" for latency, seconds in times.items()
+    )
+    write_result(results_dir, "ablation_latency", text)
+    # Simulated time grows monotonically with latency, and a 10 ms latency
+    # (200x the Gigabit default) visibly hurts.
+    ordered = [times[latency] for latency in latencies_ms]
+    assert ordered == sorted(ordered)
+    assert times[10.0] > times[0.05] * 1.05
+
+
+@pytest.mark.benchmark(group="ablation-gil")
+def test_ablation_threads_vs_processes(benchmark, results_dir):
+    """Real wall-clock comparison on the local machine (not simulated)."""
+    state = WeakSchurState(k=4, limit=30)
+    level = 2
+    n_workers = min(4, os.cpu_count() or 1)
+
+    def run():
+        t0 = time.perf_counter()
+        sequential = nested_search(state, level, SeedSequence(MASTER_SEED, "nmcs"))
+        sequential_s = time.perf_counter() - t0
+        threaded = threaded_nmcs(state, level, master_seed=MASTER_SEED, n_workers=n_workers)
+        procs = multiprocessing_nmcs(state, level, master_seed=MASTER_SEED, n_workers=n_workers)
+        return sequential, sequential_s, threaded, procs
+
+    sequential, sequential_s, threaded, procs = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        f"GIL ablation: level-{level} NMCS on Weak Schur (k=4, n<=35), {n_workers} workers\n"
+        f"sequential:       {sequential_s:.2f} s wall\n"
+        f"thread pool:      {threaded.wall_seconds:.2f} s wall\n"
+        f"process pool:     {procs.wall_seconds:.2f} s wall\n"
+        f"thread speedup:   {sequential_s / threaded.wall_seconds:.2f}x\n"
+        f"process speedup:  {sequential_s / procs.wall_seconds:.2f}x"
+    )
+    write_result(results_dir, "ablation_gil", text)
+    benchmark.extra_info["thread_speedup"] = round(sequential_s / threaded.wall_seconds, 2)
+    benchmark.extra_info["process_speedup"] = round(sequential_s / procs.wall_seconds, 2)
+
+    # All three strategies return the same search result.
+    assert sequential.score == threaded.result.score == procs.result.score
+    assert sequential.sequence == threaded.result.sequence == procs.result.sequence
+    # The GIL keeps the thread pool well below linear scaling.
+    assert sequential_s / threaded.wall_seconds < 2.0

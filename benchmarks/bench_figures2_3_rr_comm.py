@@ -1,0 +1,45 @@
+"""Figures 2 and 3 — communication pattern and overlap of the Round-Robin algorithm.
+
+Figure 2 enumerates the communications (a) root→median, (b) median→dispatcher→
+median→client, (c) client→median and (d) median→root; Figure 3 shows that they
+(and the client computations they trigger) overlap in time.  The benchmark
+classifies every traced message of a Round-Robin run, verifies the pattern and
+measures the client-computation overlap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import MASTER_SEED, write_result
+from repro.experiments import run_figure_communications
+from repro.parallel.config import DispatcherKind
+
+
+@pytest.mark.benchmark(group="figures2-3")
+def test_figures_2_3_round_robin_communications(
+    benchmark, bench_workload, bench_executor, results_dir
+):
+    def run():
+        return run_figure_communications(
+            DispatcherKind.ROUND_ROBIN,
+            workload=bench_workload,
+            level=bench_workload.low_level,
+            n_clients=8,
+            master_seed=MASTER_SEED,
+            executor=bench_executor,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = result.data["summary"]
+    write_result(results_dir, "figures2_3_rr_comm", result.render())
+    benchmark.extra_info["max_concurrency"] = summary.max_client_concurrency
+
+    # Figure 2: the pattern holds (every request answered, every job returns a
+    # result, no Last-Minute notifications in Round-Robin mode).
+    assert result.data["violations"] == []
+    assert summary.count("a: root->median task") > 0
+    assert summary.count("c': client->dispatcher free") == 0
+    # Figure 3: client computations really overlap (parallel communications).
+    assert summary.max_client_concurrency > 1
+    assert summary.n_clients_used == 8

@@ -1,0 +1,41 @@
+"""Figures 4 and 5 — communication pattern and overlap of the Last-Minute algorithm.
+
+Figure 4 adds the (c') client→dispatcher "I am free" notification to the
+Round-Robin pattern; Figure 5 shows the communications again overlap.  The
+benchmark verifies both, and additionally that the extra notifications are
+exactly one per client job.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import MASTER_SEED, write_result
+from repro.experiments import run_figure_communications
+from repro.parallel.config import DispatcherKind
+
+
+@pytest.mark.benchmark(group="figures4-5")
+def test_figures_4_5_last_minute_communications(
+    benchmark, bench_workload, bench_executor, results_dir
+):
+    def run():
+        return run_figure_communications(
+            DispatcherKind.LAST_MINUTE,
+            workload=bench_workload,
+            level=bench_workload.low_level,
+            n_clients=8,
+            master_seed=MASTER_SEED,
+            executor=bench_executor,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = result.data["summary"]
+    write_result(results_dir, "figures4_5_lm_comm", result.render())
+    benchmark.extra_info["max_concurrency"] = summary.max_client_concurrency
+
+    # Figure 4: the (c') edge exists and matches the number of client jobs.
+    assert result.data["violations"] == []
+    assert summary.count("c': client->dispatcher free") == summary.count("b3: median->client job")
+    # Figure 5: the client computations overlap.
+    assert summary.max_client_concurrency > 1

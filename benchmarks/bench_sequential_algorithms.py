@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the sequential search primitives (real wall clock).
+
+These are conventional pytest-benchmark timings (not simulated): the cost of a
+random playout, of a level-1 NMCS step and of the baselines on the scaled
+Morpion board.  They document the constant factors behind the cost-model
+calibration and catch performance regressions in the Morpion move generator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flat import flat_monte_carlo
+from repro.core.nested import nested_search
+from repro.core.reflexive import reflexive_search
+from repro.core.sample import sample
+from repro.games.morpion.geometry import cross_points
+from repro.games.morpion.state import MorpionState
+from repro.prng import SeedSequence
+
+
+def bench_state(max_moves=12) -> MorpionState:
+    return MorpionState(line_length=4, initial_points=cross_points(3), max_moves=max_moves)
+
+
+@pytest.mark.benchmark(group="sequential-primitives")
+def test_bench_random_playout(benchmark):
+    state = bench_state()
+    result = benchmark(lambda: sample(state, seeds=SeedSequence(0)))
+    assert result.score >= 0
+
+
+@pytest.mark.benchmark(group="sequential-primitives")
+def test_bench_legal_move_generation(benchmark):
+    state = bench_state(max_moves=None)
+    moves = benchmark(state.legal_moves)
+    assert len(moves) == 16
+
+
+@pytest.mark.benchmark(group="sequential-primitives")
+def test_bench_nmcs_level1(benchmark):
+    state = bench_state()
+    result = benchmark.pedantic(
+        lambda: nested_search(state, 1, SeedSequence(0, "nmcs")), rounds=3, iterations=1
+    )
+    assert result.verify(state)
+
+
+@pytest.mark.benchmark(group="sequential-primitives")
+def test_bench_flat_monte_carlo(benchmark):
+    state = bench_state()
+    result = benchmark.pedantic(
+        lambda: flat_monte_carlo(state, 2, SeedSequence(0)), rounds=3, iterations=1
+    )
+    assert result.verify(state)
+
+
+@pytest.mark.benchmark(group="sequential-primitives")
+def test_bench_reflexive_level1(benchmark):
+    state = bench_state()
+    result = benchmark.pedantic(
+        lambda: reflexive_search(state, 1, SeedSequence(0)), rounds=3, iterations=1
+    )
+    assert result.verify(state)

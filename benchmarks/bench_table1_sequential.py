@@ -1,0 +1,49 @@
+"""Table I — times for the sequential algorithm (first move and one rollout).
+
+The paper reports, for the full 5D game, 8m03s / 1h07m33s at level 3 and
+28h00m06s / ~9.8 days at level 4, i.e. a level-to-level factor of ~207 and a
+rollout-to-first-move factor of ~9.  This benchmark regenerates the same table
+on the scaled workload and checks those two *ratios* rather than the absolute
+seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import FULL_BENCH, MASTER_SEED, write_result
+from repro.experiments import run_table1_sequential
+from repro.paperdata import PAPER_SPEEDUPS
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_sequential_times(benchmark, bench_workload, bench_cost_model, results_dir):
+    lo, hi = bench_workload.low_level, bench_workload.high_level
+
+    def run():
+        return run_table1_sequential(
+            bench_workload,
+            levels=[lo, hi],
+            # The high-level full rollout is by far the most expensive
+            # sequential run; it is only included in full-scale sessions.
+            rollout_levels=[lo, hi] if FULL_BENCH else [lo],
+            master_seed=MASTER_SEED,
+            cost_model=bench_cost_model,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratios = result.data["ratios"]
+
+    text = result.render() + "\n\n" + "\n".join(
+        f"{name}: {value:.1f}x" for name, value in ratios.items()
+    )
+    write_result(results_dir, "table1_sequential", text)
+    benchmark.extra_info["ratios"] = {k: round(v, 2) for k, v in ratios.items()}
+
+    # Shape checks: the high level is far more expensive than the low level,
+    # and a full rollout costs several times the first move (paper: ~207x, ~9x).
+    assert ratios["high_over_low_first_move"] > 10.0
+    assert ratios[f"rollout_over_first_move_level{lo}"] > 3.0
+    # The paper's own ratios, for the report.
+    benchmark.extra_info["paper_level_ratio"] = PAPER_SPEEDUPS["table1_level4_over_level3_first_move"]
+    benchmark.extra_info["paper_rollout_ratio"] = PAPER_SPEEDUPS["table1_rollout_over_first_move_level3"]

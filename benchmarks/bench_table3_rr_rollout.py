@@ -1,0 +1,30 @@
+"""Table III — full-rollout times for the Round-Robin algorithm (1..64 clients).
+
+Paper shape to reproduce: rollouts parallelise slightly less well than first
+moves (speedup 44 at 64 clients vs 56 for the first move), because the root's
+later steps have fewer legal moves to distribute.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _sweep import run_sweep_benchmark
+from repro.paperdata import TABLE_III
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_round_robin_rollout(
+    benchmark, bench_workload, bench_executor, bench_cost_model, results_dir
+):
+    run_sweep_benchmark(
+        benchmark,
+        bench_workload,
+        bench_executor,
+        bench_cost_model,
+        results_dir,
+        dispatcher="rr",
+        experiment="rollout",
+        result_name="table3_rr_rollout",
+        paper_table=TABLE_III,
+    )

@@ -1,0 +1,46 @@
+"""Table IV — first-move times for the Last-Minute algorithm (1..64 clients).
+
+Paper shape to reproduce: similar to Round-Robin at the low level, slightly
+better at the high level (27m20s vs 33m11s at 64 clients for level 4).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _sweep import run_sweep_benchmark
+from conftest import MASTER_SEED
+from repro.experiments import run_client_sweep
+from repro.paperdata import TABLE_IV
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_last_minute_first_move(
+    benchmark, bench_workload, bench_executor, bench_cost_model, results_dir
+):
+    lm = run_sweep_benchmark(
+        benchmark,
+        bench_workload,
+        bench_executor,
+        bench_cost_model,
+        results_dir,
+        dispatcher="lm",
+        experiment="first_move",
+        result_name="table4_lm_firstmove",
+        paper_table=TABLE_IV,
+    )
+    # Compare against Round-Robin at the high level / 64 clients (cached jobs,
+    # so this re-simulation is cheap): Last-Minute must not be slower by more
+    # than a small tolerance, and the paper finds it strictly faster.
+    hi = bench_workload.high_level
+    rr = run_client_sweep(
+        "rr",
+        experiment="first_move",
+        workload=bench_workload,
+        levels=[hi],
+        client_counts=[64],
+        master_seed=MASTER_SEED,
+        executor=bench_executor,
+        cost_model=bench_cost_model,
+    )
+    assert lm.times[hi][64] <= rr.times[hi][64] * 1.05

@@ -1,0 +1,45 @@
+"""Table V — full-rollout times for the Last-Minute algorithm (1..64 clients).
+
+Paper shape to reproduce: slightly better than the Round-Robin rollouts
+(1m32s vs 1m52s at 64 clients for level 3; 4h10m vs 5h09m for level 4).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _sweep import run_sweep_benchmark, sweep_levels
+from conftest import MASTER_SEED
+from repro.experiments import DEFAULT_CLIENT_COUNTS, run_client_sweep
+from repro.paperdata import TABLE_V
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_last_minute_rollout(
+    benchmark, bench_workload, bench_executor, bench_cost_model, results_dir
+):
+    lm = run_sweep_benchmark(
+        benchmark,
+        bench_workload,
+        bench_executor,
+        bench_cost_model,
+        results_dir,
+        dispatcher="lm",
+        experiment="rollout",
+        result_name="table5_lm_rollout",
+        paper_table=TABLE_V,
+    )
+    # Last-Minute rollouts stay within a few percent of Round-Robin rollouts
+    # on the homogeneous sweep (the paper reports a slight LM advantage).
+    lo = bench_workload.low_level
+    rr = run_client_sweep(
+        "rr",
+        experiment="rollout",
+        workload=bench_workload,
+        levels=[lo],
+        client_counts=[64],
+        master_seed=MASTER_SEED,
+        executor=bench_executor,
+        cost_model=bench_cost_model,
+    )
+    assert lm.times[lo][64] <= rr.times[lo][64] * 1.10

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The pinned offline environment ships setuptools without the ``wheel`` package,
+so PEP 517 editable installs (which build an editable wheel) are unavailable.
+This shim keeps the classic ``pip install -e . --no-use-pep517
+--no-build-isolation`` path working; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,132 @@
+"""repro — reproduction of "Parallel Nested Monte-Carlo Search" (Cazenave & Jouandeau, 2009).
+
+The library is organised as:
+
+* :mod:`repro.games` — search domains (Morpion Solitaire, SameGame, TSP, SOP,
+  Weak Schur, toy games);
+* :mod:`repro.core` — sequential search algorithms (random sampling, flat
+  Monte-Carlo, Nested Monte-Carlo Search, reflexive search, iterated NMCS,
+  NRPA);
+* :mod:`repro.cluster` — the simulated heterogeneous cluster (discrete-event
+  kernel, nodes, network, traces);
+* :mod:`repro.parallel` — the paper's parallel algorithms (root / median /
+  dispatcher / client roles, Round-Robin and Last-Minute dispatching) plus
+  real local executors (multiprocessing / threads);
+* :mod:`repro.timemodel`, :mod:`repro.analysis`, :mod:`repro.paperdata`,
+  :mod:`repro.workloads` — cost model, reporting and the benchmark harness
+  support code;
+* :mod:`repro.cli` — ``python -m repro`` command-line interface.
+
+Quickstart
+----------
+>>> from repro import MorpionState, nmcs
+>>> result = nmcs(MorpionState(line_length=4), level=1, seed=0)
+>>> result.score > 0
+True
+"""
+
+from repro.prng import SeedSequence, derive_seed, spawn_rng
+from repro.games import (
+    GameState,
+    LeftMoveState,
+    MorpionState,
+    MorpionVariant,
+    SameGameState,
+    SOPInstance,
+    SOPState,
+    TSPInstance,
+    TSPState,
+    WeakSchurState,
+)
+from repro.core import (
+    SearchResult,
+    WorkCounter,
+    flat_monte_carlo,
+    iterated_search,
+    nested_search,
+    nmcs,
+    nrpa_search,
+    reflexive_search,
+    sample,
+)
+from repro.cluster import ClusterSpec, Kernel, NetworkModel, NodeSpec
+from repro.cluster.topology import (
+    heterogeneous_cluster,
+    homogeneous_cluster,
+    paper_cluster,
+    single_machine,
+)
+from repro.parallel import (
+    CachingJobExecutor,
+    DispatcherKind,
+    ParallelConfig,
+    ParallelRunResult,
+    first_move_experiment,
+    multiprocessing_nmcs,
+    rollout_experiment,
+    run_last_minute,
+    run_parallel_nmcs,
+    run_round_robin,
+    sequential_reference,
+    threaded_nmcs,
+)
+from repro.timemodel import CostModel
+from repro.workloads import Workload, get_workload, list_workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # randomness
+    "SeedSequence",
+    "derive_seed",
+    "spawn_rng",
+    # games
+    "GameState",
+    "LeftMoveState",
+    "MorpionState",
+    "MorpionVariant",
+    "SameGameState",
+    "SOPInstance",
+    "SOPState",
+    "TSPInstance",
+    "TSPState",
+    "WeakSchurState",
+    # sequential search
+    "SearchResult",
+    "WorkCounter",
+    "sample",
+    "nmcs",
+    "nested_search",
+    "flat_monte_carlo",
+    "reflexive_search",
+    "iterated_search",
+    "nrpa_search",
+    # cluster simulation
+    "Kernel",
+    "NodeSpec",
+    "NetworkModel",
+    "ClusterSpec",
+    "homogeneous_cluster",
+    "heterogeneous_cluster",
+    "paper_cluster",
+    "single_machine",
+    # parallel search
+    "DispatcherKind",
+    "ParallelConfig",
+    "ParallelRunResult",
+    "CachingJobExecutor",
+    "run_parallel_nmcs",
+    "run_round_robin",
+    "run_last_minute",
+    "first_move_experiment",
+    "rollout_experiment",
+    "sequential_reference",
+    "multiprocessing_nmcs",
+    "threaded_nmcs",
+    # support
+    "CostModel",
+    "Workload",
+    "get_workload",
+    "list_workloads",
+]

@@ -1,0 +1,60 @@
+"""Mean / standard deviation summaries over repeated runs.
+
+The paper reports every time as "a mean over multiple runs" with "the
+standard deviation given between parenthesis".  :func:`summarize` produces
+the same presentation for our measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.analysis.timefmt import format_hms
+
+__all__ = ["mean", "std", "Summary", "summarize"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (raises on an empty sequence)."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+def std(values: Sequence[float]) -> float:
+    """Population standard deviation (0 for a single value)."""
+    values = list(values)
+    if not values:
+        raise ValueError("std of an empty sequence")
+    if len(values) == 1:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean and standard deviation of a set of duration measurements."""
+
+    mean: float
+    std: float
+    n: int
+
+    def paper_style(self) -> str:
+        """Render like the paper: ``mean (std)``, e.g. ``"01m52s (8s)"``.
+
+        Single measurements are parenthesised entirely, as the paper does for
+        "results in parenthesis which were run only once".
+        """
+        if self.n == 1:
+            return f"({format_hms(self.mean)})"
+        return f"{format_hms(self.mean)} ({format_hms(self.std)})"
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Mean/std summary of a collection of duration measurements (seconds)."""
+    data: List[float] = list(values)
+    return Summary(mean=mean(data), std=std(data), n=len(data))

@@ -1,0 +1,60 @@
+"""Plain-text table rendering in the style of the paper's Tables I–VI.
+
+The benchmark harness builds :class:`Table` objects (row label + one cell per
+column) and renders them with :func:`render_table`; cells are typically the
+``mean (std)`` strings produced by :class:`repro.analysis.stats.Summary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["Table", "render_table"]
+
+
+@dataclass
+class Table:
+    """A small column-oriented table with a title and ordered rows."""
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, str]] = field(default_factory=list)
+    row_label: str = ""
+
+    def add_row(self, label: str, **cells: str) -> None:
+        """Append a row; missing columns render as ``—`` like the paper."""
+        row = {"__label__": label}
+        for column in self.columns:
+            row[column] = cells.get(column, "—")
+        unknown = set(cells) - set(self.columns)
+        if unknown:
+            raise ValueError(f"unknown column(s) {sorted(unknown)} for table {self.title!r}")
+        self.rows.append(row)
+
+    def cell(self, label: str, column: str) -> str:
+        """The cell at (row ``label``, ``column``); raises ``KeyError`` if absent."""
+        for row in self.rows:
+            if row["__label__"] == label:
+                return row[column]
+        raise KeyError(label)
+
+    def render(self) -> str:
+        """Render as aligned plain text."""
+        return render_table(self)
+
+
+def render_table(table: Table) -> str:
+    """Render a :class:`Table` as aligned plain text with a title line."""
+    headers = [table.row_label or ""] + list(table.columns)
+    body = [[row["__label__"]] + [row[c] for c in table.columns] for row in table.rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in body)) if body else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [table.title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Time formatting in the paper's style.
+
+The paper reports durations as e.g. ``10s``, ``01m52s``, ``1h07m33s``,
+``28h00m06s`` or ``(09d18h58m)``.  :func:`format_hms` renders seconds in that
+style (days only when needed, no leading zero on the largest unit, two digits
+elsewhere) and :func:`parse_hms` parses it back, which the paper-reference
+data module uses to keep the quoted tables human-readable.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["format_hms", "parse_hms"]
+
+_PATTERN = re.compile(
+    r"^\(?\s*"
+    r"(?:(?P<days>\d+)d)?"
+    r"(?:(?P<hours>\d+)h)?"
+    r"(?:(?P<minutes>\d+)m)?"
+    r"(?:(?P<seconds>\d+(?:\.\d+)?)s)?"
+    r"\s*\)?$"
+)
+
+
+def format_hms(seconds: float) -> str:
+    """Format a duration in seconds the way the paper's tables do.
+
+    >>> format_hms(10)
+    '10s'
+    >>> format_hms(112)
+    '01m52s'
+    >>> format_hms(4053)
+    '1h07m33s'
+    >>> format_hms(100806)
+    '28h00m06s'
+    """
+    if seconds < 0:
+        raise ValueError("durations cannot be negative")
+    total = int(round(seconds))
+    if total < 60:
+        return f"{total:02d}s"
+    minutes, secs = divmod(total, 60)
+    if minutes < 60:
+        return f"{minutes:02d}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    if hours < 100:
+        return f"{hours}h{minutes:02d}m{secs:02d}s"
+    days, hours = divmod(hours, 24)
+    return f"{days:02d}d{hours:02d}h{minutes:02d}m"
+
+
+def parse_hms(text: str) -> float:
+    """Parse a duration in the paper's format back into seconds.
+
+    Parenthesised values (single-run measurements in the paper) are accepted;
+    the parentheses are ignored.
+
+    >>> parse_hms("1h07m33s")
+    4053.0
+    >>> parse_hms("(09d18h58m)")
+    845880.0
+    """
+    match = _PATTERN.match(text.strip())
+    if not match or not any(match.groupdict().values()):
+        raise ValueError(f"cannot parse duration {text!r}")
+    days = int(match.group("days") or 0)
+    hours = int(match.group("hours") or 0)
+    minutes = int(match.group("minutes") or 0)
+    seconds = float(match.group("seconds") or 0.0)
+    return ((days * 24 + hours) * 60 + minutes) * 60 + seconds

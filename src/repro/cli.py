@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+The CLI exposes the experiment runners of :mod:`repro.experiments` so that
+every table and figure of the paper can be regenerated from a shell, plus a
+few utilities (sequential searches, workload listing, the record hunt).
+
+Examples
+--------
+List the available workloads::
+
+    python -m repro workloads
+
+Regenerate Table II (Round-Robin, first move) at the default scale::
+
+    python -m repro table2 --clients 1 4 8 16 32 64
+
+Run a sequential NMCS on the scaled Morpion board::
+
+    python -m repro nmcs --workload morpion-bench --level 2 --seed 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.timefmt import format_hms
+from repro.core.nested import nmcs
+from repro.experiments import (
+    DEFAULT_CLIENT_COUNTS,
+    run_client_sweep,
+    run_figure1_record,
+    run_figure_communications,
+    run_table1_sequential,
+    run_table6_heterogeneous,
+)
+from repro.games.morpion.render import render_state
+from repro.games.morpion.state import MorpionState
+from repro.parallel.config import DispatcherKind
+from repro.parallel.jobs import CachingJobExecutor
+from repro.workloads import get_workload, list_workloads
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Parallel Nested Monte-Carlo Search' (Cazenave & Jouandeau, 2009)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser, default_workload: str = "morpion-bench") -> None:
+        p.add_argument("--workload", default=default_workload, help="named workload (see 'workloads')")
+        p.add_argument("--seed", type=int, default=0, help="master random seed")
+        p.add_argument("--levels", type=int, nargs="*", default=None, help="nesting levels to run")
+
+    p = sub.add_parser("workloads", help="list the named workloads")
+
+    p = sub.add_parser("nmcs", help="run a sequential Nested Monte-Carlo Search")
+    add_common(p)
+    p.add_argument("--level", type=int, default=None, help="nesting level (default: workload low level)")
+    p.add_argument("--render", action="store_true", help="render the final Morpion grid")
+
+    p = sub.add_parser("table1", help="Table I: sequential first-move and rollout times")
+    add_common(p)
+
+    for number, (dispatcher, experiment) in {
+        "table2": ("rr", "first_move"),
+        "table3": ("rr", "rollout"),
+        "table4": ("lm", "first_move"),
+        "table5": ("lm", "rollout"),
+    }.items():
+        p = sub.add_parser(
+            number,
+            help=f"Table {number[-1].upper()}: {dispatcher.upper()} {experiment.replace('_', ' ')} client sweep",
+        )
+        add_common(p)
+        p.add_argument("--clients", type=int, nargs="*", default=list(DEFAULT_CLIENT_COUNTS))
+        p.set_defaults(dispatcher=dispatcher, experiment=experiment)
+
+    p = sub.add_parser("table6", help="Table VI: LM vs RR on heterogeneous clusters")
+    add_common(p)
+
+    p = sub.add_parser("figures2-5", help="Figures 2-5: communication-pattern analysis")
+    add_common(p, default_workload="morpion-small")
+    p.add_argument("--clients", type=int, default=8)
+
+    p = sub.add_parser("figure1", help="Figure 1: search for a long Morpion sequence and render it")
+    add_common(p, default_workload="morpion-4d")
+    p.add_argument("--level", type=int, default=None)
+    p.add_argument("--clients", type=int, default=16)
+    p.add_argument("--sequential", action="store_true", help="use the sequential search instead of the cluster")
+
+    return parser
+
+
+def _print(text: str) -> None:
+    sys.stdout.write(text + "\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro`` (returns a process exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "workloads":
+        for name, description in list_workloads().items():
+            _print(f"{name:16s} {description}")
+        return 0
+
+    if args.command == "nmcs":
+        workload = get_workload(args.workload)
+        level = args.level if args.level is not None else workload.low_level
+        state = workload.state()
+        result = nmcs(state, level, seed=args.seed)
+        _print(f"workload={workload.name} level={level} seed={args.seed}")
+        _print(f"score: {result.score}")
+        _print(f"moves: {len(result.sequence)}")
+        _print(f"work:  {result.work.moves} move applications, {result.work.playouts} playouts")
+        if args.render and isinstance(state, MorpionState):
+            _print(render_state(result.final_state(state)))
+        return 0
+
+    if args.command == "table1":
+        experiment = run_table1_sequential(args.workload, levels=args.levels, master_seed=args.seed)
+        _print(experiment.render())
+        ratios = experiment.data["ratios"]
+        for name, value in ratios.items():
+            _print(f"{name}: {value:.1f}x")
+        return 0
+
+    if args.command in ("table2", "table3", "table4", "table5"):
+        executor = CachingJobExecutor()
+        sweep = run_client_sweep(
+            args.dispatcher,
+            experiment=args.experiment,
+            workload=args.workload,
+            levels=args.levels,
+            client_counts=args.clients,
+            master_seed=args.seed,
+            executor=executor,
+        )
+        _print(sweep.render())
+        for level, table in sweep.speedups.items():
+            if table:
+                rendered = ", ".join(f"{c}: {s:.1f}x" for c, s in table.items())
+                _print(f"speedups (level {level}): {rendered}")
+        return 0
+
+    if args.command == "table6":
+        experiment = run_table6_heterogeneous(args.workload, levels=args.levels, master_seed=args.seed)
+        _print(experiment.render())
+        for name, value in experiment.data["advantages"].items():
+            _print(f"{name}: RR/LM = {value:.2f}")
+        return 0
+
+    if args.command == "figures2-5":
+        for dispatcher in (DispatcherKind.ROUND_ROBIN, DispatcherKind.LAST_MINUTE):
+            experiment = run_figure_communications(
+                dispatcher,
+                workload=args.workload,
+                level=None if not args.levels else args.levels[0],
+                n_clients=args.clients,
+                master_seed=args.seed,
+            )
+            _print(experiment.render())
+            violations = experiment.data["violations"]
+            _print("pattern check: " + ("OK" if not violations else "; ".join(violations)))
+            _print("")
+        return 0
+
+    if args.command == "figure1":
+        experiment = run_figure1_record(
+            workload=args.workload,
+            level=args.level,
+            n_clients=args.clients,
+            master_seed=args.seed,
+            use_parallel=not args.sequential,
+        )
+        _print(experiment.render())
+        _print(experiment.data["grid"])
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

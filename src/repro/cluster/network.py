@@ -1,0 +1,60 @@
+"""Network model: per-message latency and bandwidth-proportional delay.
+
+The paper's cluster uses Gigabit Ethernet with Open MPI; the messages
+exchanged by the parallel NMCS algorithms are tiny (a position and a score),
+so communication time is dominated by latency.  The default parameters model
+that regime: 50 µs of latency per message, 1 Gbit/s of bandwidth and a small
+sender-side overhead representing the MPI send call.
+
+Message delivery preserves ordering per (sender, receiver) pair — a later
+message never arrives before an earlier one — matching MPI's non-overtaking
+guarantee, which the role processes of :mod:`repro.parallel` rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Simple latency + bandwidth network model.
+
+    Attributes
+    ----------
+    latency_s:
+        One-way latency added to every message, in seconds.
+    bandwidth_bytes_per_s:
+        Link bandwidth; the payload size divided by it is added to the delay.
+    send_overhead_s:
+        Time the *sender* spends issuing the send (it cannot compute during
+        that time).  Models the cost of the MPI send call.
+    """
+
+    latency_s: float = 50e-6
+    bandwidth_bytes_per_s: float = 125_000_000.0  # 1 Gbit/s
+    send_overhead_s: float = 5e-6
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0 or self.send_overhead_s < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def transfer_delay(self, size_bytes: float) -> float:
+        """One-way delivery delay for a message of ``size_bytes``."""
+        if size_bytes < 0:
+            raise ValueError("message size must be non-negative")
+        return self.latency_s + float(size_bytes) / self.bandwidth_bytes_per_s
+
+    @classmethod
+    def instantaneous(cls) -> "NetworkModel":
+        """A zero-cost network (useful to isolate scheduling effects in tests)."""
+        return cls(latency_s=0.0, bandwidth_bytes_per_s=float("inf"), send_overhead_s=0.0)
+
+    @classmethod
+    def slow(cls, latency_ms: float = 1.0) -> "NetworkModel":
+        """A deliberately slow network for the latency-sensitivity ablation."""
+        return cls(latency_s=latency_ms * 1e-3)

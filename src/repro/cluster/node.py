@@ -1,0 +1,176 @@
+"""Cluster nodes with proportional-share processors.
+
+A node has a clock frequency and a number of cores.  Any number of simulated
+processes may run computations on it concurrently; when more computations are
+active than there are cores, each one progresses at ``cores / active`` of the
+full speed (proportional sharing, the behaviour of an oversubscribed
+multi-core PC running CPU-bound processes under a fair OS scheduler).
+
+This is the mechanism behind Table VI of the paper: in the ``16x4 + 16x2``
+configuration, four client processes share a dual-core PC and therefore run at
+half speed whenever they are all busy, while clients on the ``x2`` PCs run at
+full speed.  The Round-Robin dispatcher keeps feeding the slow clients and
+waits for them at every step; the Last-Minute dispatcher hands work to
+whichever client frees up first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.events import Event
+    from repro.cluster.simulator import Kernel
+
+__all__ = ["NodeSpec", "Node", "RunningComputation"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of a node.
+
+    Attributes
+    ----------
+    name:
+        Unique node name (e.g. ``"pc-03"`` or ``"server"``).
+    freq_ghz:
+        Clock frequency in GHz; with the cost model it determines how many
+        work units per second a computation running alone on a core performs.
+    cores:
+        Number of cores; also the maximum number of computations that can
+        progress at full speed simultaneously.
+    """
+
+    name: str
+    freq_ghz: float = 1.86
+    cores: int = 2
+
+    def __post_init__(self) -> None:
+        if self.freq_ghz <= 0:
+            raise ValueError("freq_ghz must be positive")
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+
+
+@dataclass
+class RunningComputation:
+    """Book-keeping for one in-flight computation on a node."""
+
+    pid: str
+    remaining_work: float
+    started_at: float
+    total_work: float
+    version: int = 0
+    completion_event: Optional["Event"] = None
+    on_complete: Optional[Callable[[], None]] = None
+
+
+class Node:
+    """A simulated node executing computations under proportional sharing."""
+
+    def __init__(self, spec: NodeSpec, kernel: "Kernel") -> None:
+        self.spec = spec
+        self.kernel = kernel
+        self._running: Dict[str, RunningComputation] = {}
+        self._last_update = 0.0
+        #: accumulated (busy_cores * seconds), for utilisation reporting
+        self.busy_core_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Speed model
+    # ------------------------------------------------------------------ #
+    def units_per_second(self) -> float:
+        """Per-computation speed in work units / second, at the current load."""
+        active = len(self._running)
+        if active == 0:
+            return 0.0
+        share = min(1.0, self.spec.cores / active)
+        return self.kernel.cost_model.units_per_second(self.spec.freq_ghz) * share
+
+    def active_computations(self) -> int:
+        """Number of in-flight computations on this node."""
+        return len(self._running)
+
+    # ------------------------------------------------------------------ #
+    # Internal time integration
+    # ------------------------------------------------------------------ #
+    def _advance(self) -> None:
+        """Integrate progress of every running computation up to ``kernel.now``."""
+        now = self.kernel.now
+        elapsed = now - self._last_update
+        if elapsed > 0 and self._running:
+            speed = self.units_per_second()
+            for comp in self._running.values():
+                comp.remaining_work = max(0.0, comp.remaining_work - speed * elapsed)
+            self.busy_core_seconds += elapsed * min(len(self._running), self.spec.cores)
+        self._last_update = now
+
+    def _reschedule_all(self) -> None:
+        """Recompute and (re)schedule the completion event of every computation."""
+        speed = self.units_per_second()
+        for comp in self._running.values():
+            if comp.completion_event is not None:
+                comp.completion_event.cancel()
+            comp.version += 1
+            if speed <= 0.0:  # pragma: no cover - defensive (speed>0 when running)
+                continue
+            finish = self.kernel.now + comp.remaining_work / speed
+            comp.completion_event = self.kernel.schedule_at(
+                finish, self._on_completion, comp.pid, comp.version
+            )
+
+    # ------------------------------------------------------------------ #
+    # Public interface used by the kernel
+    # ------------------------------------------------------------------ #
+    def start_computation(
+        self, pid: str, work_units: float, on_complete: Callable[[], None]
+    ) -> None:
+        """Begin a computation of ``work_units`` for process ``pid``.
+
+        ``on_complete`` is invoked (through the event queue) when it finishes.
+        A process may only run one computation at a time.
+        """
+        if pid in self._running:
+            raise RuntimeError(f"process {pid} already has a computation running")
+        if work_units < 0:
+            raise ValueError("work_units must be non-negative")
+        self._advance()
+        self._running[pid] = RunningComputation(
+            pid=pid,
+            remaining_work=float(work_units),
+            started_at=self.kernel.now,
+            total_work=float(work_units),
+            on_complete=on_complete,
+        )
+        self._reschedule_all()
+
+    def _on_completion(self, pid: str, version: int) -> None:
+        comp = self._running.get(pid)
+        if comp is None or comp.version != version:
+            return  # stale event from before a reschedule
+        self._advance()
+        if comp.remaining_work > 1e-9:
+            # Numerical drift: reschedule the remainder instead of finishing early.
+            self._reschedule_all()
+            return
+        del self._running[pid]
+        self.kernel.trace.record_compute(
+            pid=pid,
+            node=self.spec.name,
+            start=comp.started_at,
+            end=self.kernel.now,
+            work=comp.total_work,
+        )
+        # Remaining computations speed up now that a slot freed: reschedule them.
+        self._reschedule_all()
+        if comp.on_complete is not None:
+            comp.on_complete()
+
+    def utilisation(self, horizon: Optional[float] = None) -> float:
+        """Fraction of core capacity used from time 0 to ``horizon`` (default: now)."""
+        self._advance()
+        end = self.kernel.now if horizon is None else horizon
+        if end <= 0:
+            return 0.0
+        return self.busy_core_seconds / (end * self.spec.cores)

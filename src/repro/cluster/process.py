@@ -1,0 +1,172 @@
+"""Simulated processes and their system calls.
+
+A simulated process is a Python generator that *yields* syscall objects
+(:class:`Send`, :class:`Recv`, :class:`Compute`, :class:`Sleep`) and receives
+the syscall's result when it is resumed — the classic coroutine style of
+discrete-event frameworks.  The :class:`ProcessContext` passed to each process
+constructs the syscalls and exposes the process' identity and the current
+simulated time.
+
+The messaging interface follows the subset of MPI the paper's pseudo-code
+uses: point-to-point ``send`` / ``recv`` with integer tags, a wildcard source
+(``ANY_SOURCE``) and a wildcard tag (``ANY_TAG``).  Receives return a
+:class:`Message` carrying the sender's name, the tag and the payload, which is
+what "receive node from any node" in the Last-Minute dispatcher pseudo-code
+needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.simulator import Kernel
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Message",
+    "Syscall",
+    "Send",
+    "Recv",
+    "Compute",
+    "Sleep",
+    "ProcessState",
+    "SimProcess",
+    "ProcessContext",
+]
+
+
+class _Wildcard:
+    """Sentinel for wildcard source / tag matching."""
+
+    def __init__(self, label: str) -> None:
+        self._label = label
+
+    def __repr__(self) -> str:
+        return self._label
+
+
+ANY_SOURCE = _Wildcard("ANY_SOURCE")
+ANY_TAG = _Wildcard("ANY_TAG")
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered message: who sent it, with which tag, carrying what."""
+
+    source: str
+    tag: int
+    payload: Any
+    sent_at: float
+    received_at: float
+
+
+class Syscall:
+    """Base class of everything a simulated process may ``yield``."""
+
+
+@dataclass(frozen=True)
+class Send(Syscall):
+    """Send ``payload`` to the process named ``dest`` (non-blocking, buffered)."""
+
+    dest: str
+    payload: Any
+    tag: int = 0
+    size_bytes: float = 256.0
+
+
+@dataclass(frozen=True)
+class Recv(Syscall):
+    """Block until a message matching ``source`` and ``tag`` is available."""
+
+    source: Any = ANY_SOURCE
+    tag: Any = ANY_TAG
+
+
+@dataclass(frozen=True)
+class Compute(Syscall):
+    """Perform ``work_units`` of computation on the process' node."""
+
+    work_units: float
+
+
+@dataclass(frozen=True)
+class Sleep(Syscall):
+    """Advance simulated time by ``seconds`` without using the processor."""
+
+    seconds: float
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a simulated process."""
+
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED_RECV = "blocked_recv"
+    COMPUTING = "computing"
+    SLEEPING = "sleeping"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+@dataclass
+class SimProcess:
+    """Kernel-side record of one simulated process."""
+
+    name: str
+    node_name: str
+    generator: Generator[Syscall, Any, Any]
+    state: ProcessState = ProcessState.READY
+    pending_recv: Optional[Recv] = None
+    mailbox: list = field(default_factory=list)
+    return_value: Any = None
+    exception: Optional[BaseException] = None
+    started_at: float = 0.0
+    finished_at: Optional[float] = None
+
+    def matches(self, message: Message, recv: Recv) -> bool:
+        """Does ``message`` satisfy the pending ``recv`` specification?"""
+        if recv.source is not ANY_SOURCE and message.source != recv.source:
+            return False
+        if recv.tag is not ANY_TAG and message.tag != recv.tag:
+            return False
+        return True
+
+
+class ProcessContext:
+    """The handle a simulated process uses to interact with the kernel."""
+
+    def __init__(self, kernel: "Kernel", name: str, node_name: str) -> None:
+        self._kernel = kernel
+        self.name = name
+        self.node_name = node_name
+
+    # -- syscall constructors ------------------------------------------- #
+    def send(self, dest: str, payload: Any, tag: int = 0, size_bytes: float = 256.0) -> Send:
+        """Send ``payload`` to ``dest``; yield the returned object."""
+        return Send(dest=dest, payload=payload, tag=tag, size_bytes=size_bytes)
+
+    def recv(self, source: Any = ANY_SOURCE, tag: Any = ANY_TAG) -> Recv:
+        """Receive a matching message; yield the returned object."""
+        return Recv(source=source, tag=tag)
+
+    def compute(self, work_units: float) -> Compute:
+        """Perform ``work_units`` of computation; yield the returned object."""
+        return Compute(work_units=float(work_units))
+
+    def sleep(self, seconds: float) -> Sleep:
+        """Idle for ``seconds`` of simulated time; yield the returned object."""
+        return Sleep(seconds=float(seconds))
+
+    # -- introspection --------------------------------------------------- #
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._kernel.now
+
+    def peers(self) -> list:
+        """Names of every process registered in the simulation."""
+        return list(self._kernel.process_names())

@@ -1,0 +1,305 @@
+"""The discrete-event kernel tying processes, nodes and the network together.
+
+The :class:`Kernel` owns the event queue, the simulated clock, the registered
+nodes and processes, the network model, the cost model and the execution
+trace.  Simulated processes are generators yielding syscalls (see
+:mod:`repro.cluster.process`); the kernel interprets each syscall, schedules
+the corresponding events and resumes the process with the syscall's result.
+
+Determinism: all ties are broken by scheduling order (see
+:mod:`repro.cluster.events`), there is no randomness anywhere in the kernel,
+and message delivery preserves per-(sender, receiver) ordering.  Two runs of
+the same workload on the same topology produce bit-identical traces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
+
+from repro.cluster.events import Event, EventQueue
+from repro.cluster.network import NetworkModel
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.process import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Compute,
+    Message,
+    ProcessContext,
+    ProcessState,
+    Recv,
+    Send,
+    SimProcess,
+    Sleep,
+    Syscall,
+)
+from repro.cluster.trace import Trace
+from repro.timemodel.cost import CostModel
+
+__all__ = ["Kernel", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state (e.g. deadlock)."""
+
+
+class Kernel:
+    """Discrete-event simulation kernel."""
+
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        network: Optional[NetworkModel] = None,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        self.queue = EventQueue()
+        self.now = 0.0
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.network = network if network is not None else NetworkModel()
+        self.trace = trace if trace is not None else Trace()
+        self._nodes: Dict[str, Node] = {}
+        self._processes: Dict[str, SimProcess] = {}
+        self._contexts: Dict[str, ProcessContext] = {}
+        self._last_delivery: Dict[tuple, float] = {}
+        self._finished_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Topology registration
+    # ------------------------------------------------------------------ #
+    def add_node(self, spec: NodeSpec) -> Node:
+        """Register a node; returns the simulation-side :class:`Node`."""
+        if spec.name in self._nodes:
+            raise ValueError(f"duplicate node name {spec.name!r}")
+        node = Node(spec, self)
+        self._nodes[spec.name] = node
+        return node
+
+    def add_nodes(self, specs: Iterable[NodeSpec]) -> None:
+        """Register several nodes at once."""
+        for spec in specs:
+            self.add_node(spec)
+
+    def node(self, name: str) -> Node:
+        """The registered node with the given name."""
+        return self._nodes[name]
+
+    def nodes(self) -> Dict[str, Node]:
+        """All registered nodes by name."""
+        return dict(self._nodes)
+
+    # ------------------------------------------------------------------ #
+    # Process management
+    # ------------------------------------------------------------------ #
+    def spawn(
+        self,
+        name: str,
+        node_name: str,
+        fn: Callable[..., Generator[Syscall, Any, Any]],
+        *args: Any,
+        **kwargs: Any,
+    ) -> SimProcess:
+        """Create a process ``name`` on node ``node_name`` running ``fn(ctx, ...)``.
+
+        ``fn`` must be a generator function whose first parameter is the
+        :class:`ProcessContext`.  The process starts at the current simulated
+        time (it is resumed through a zero-delay event).
+        """
+        if name in self._processes:
+            raise ValueError(f"duplicate process name {name!r}")
+        if node_name not in self._nodes:
+            raise ValueError(f"unknown node {node_name!r} for process {name!r}")
+        ctx = ProcessContext(self, name, node_name)
+        generator = fn(ctx, *args, **kwargs)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process function {fn!r} did not return a generator")
+        process = SimProcess(name=name, node_name=node_name, generator=generator, started_at=self.now)
+        self._processes[name] = process
+        self._contexts[name] = ctx
+        self.schedule_at(self.now, self._resume, name, None)
+        return process
+
+    def process(self, name: str) -> SimProcess:
+        """The process record with the given name."""
+        return self._processes[name]
+
+    def process_names(self) -> List[str]:
+        """Names of every registered process."""
+        return list(self._processes.keys())
+
+    def all_finished(self) -> bool:
+        """True when every registered process has finished."""
+        return self._finished_count == len(self._processes)
+
+    # ------------------------------------------------------------------ #
+    # Scheduling primitives
+    # ------------------------------------------------------------------ #
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time`` (>= now)."""
+        if time < self.now - 1e-12:
+            raise ValueError(f"cannot schedule into the past ({time} < {self.now})")
+        return self.queue.push(max(time, self.now), callback, *args)
+
+    def schedule_after(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    # ------------------------------------------------------------------ #
+    # Process resumption and syscall handling
+    # ------------------------------------------------------------------ #
+    def _resume(self, name: str, value: Any) -> None:
+        process = self._processes[name]
+        if process.state in (ProcessState.FINISHED, ProcessState.FAILED):
+            return
+        process.state = ProcessState.RUNNING
+        try:
+            syscall = process.generator.send(value)
+        except StopIteration as stop:
+            process.state = ProcessState.FINISHED
+            process.return_value = stop.value
+            process.finished_at = self.now
+            self._finished_count += 1
+            return
+        except Exception as exc:
+            process.state = ProcessState.FAILED
+            process.exception = exc
+            process.finished_at = self.now
+            self._finished_count += 1
+            raise SimulationError(f"process {name!r} raised {exc!r}") from exc
+        self._handle_syscall(process, syscall)
+
+    def _handle_syscall(self, process: SimProcess, syscall: Syscall) -> None:
+        if isinstance(syscall, Send):
+            self._do_send(process, syscall)
+        elif isinstance(syscall, Recv):
+            self._do_recv(process, syscall)
+        elif isinstance(syscall, Compute):
+            self._do_compute(process, syscall)
+        elif isinstance(syscall, Sleep):
+            if syscall.seconds < 0:
+                raise SimulationError(f"negative sleep from {process.name!r}")
+            process.state = ProcessState.SLEEPING
+            self.schedule_after(syscall.seconds, self._resume, process.name, None)
+        else:
+            raise SimulationError(
+                f"process {process.name!r} yielded a non-syscall object {syscall!r}"
+            )
+
+    # -- Send ------------------------------------------------------------ #
+    def _do_send(self, process: SimProcess, syscall: Send) -> None:
+        if syscall.dest not in self._processes:
+            raise SimulationError(
+                f"process {process.name!r} sent a message to unknown process {syscall.dest!r}"
+            )
+        sent_at = self.now
+        delay = self.network.transfer_delay(syscall.size_bytes)
+        key = (process.name, syscall.dest)
+        delivery = max(sent_at + delay, self._last_delivery.get(key, 0.0))
+        self._last_delivery[key] = delivery
+        self.schedule_at(delivery, self._deliver, process.name, syscall, sent_at, delivery)
+        # The sender resumes after the (small) send overhead.
+        self.schedule_after(self.network.send_overhead_s, self._resume, process.name, None)
+
+    def _deliver(self, source: str, syscall: Send, sent_at: float, delivery: float) -> None:
+        dest = self._processes[syscall.dest]
+        message = Message(
+            source=source,
+            tag=syscall.tag,
+            payload=syscall.payload,
+            sent_at=sent_at,
+            received_at=delivery,
+        )
+        self.trace.record_message(
+            source=source,
+            dest=syscall.dest,
+            tag=syscall.tag,
+            payload=syscall.payload,
+            size_bytes=syscall.size_bytes,
+            sent_at=sent_at,
+            received_at=delivery,
+        )
+        if dest.state is ProcessState.BLOCKED_RECV and dest.pending_recv is not None and dest.matches(
+            message, dest.pending_recv
+        ):
+            dest.pending_recv = None
+            self.schedule_at(self.now, self._resume, dest.name, message)
+        else:
+            dest.mailbox.append(message)
+
+    # -- Recv ------------------------------------------------------------ #
+    def _do_recv(self, process: SimProcess, syscall: Recv) -> None:
+        for i, message in enumerate(process.mailbox):
+            if process.matches(message, syscall):
+                process.mailbox.pop(i)
+                self.schedule_at(self.now, self._resume, process.name, message)
+                return
+        process.state = ProcessState.BLOCKED_RECV
+        process.pending_recv = syscall
+
+    # -- Compute ---------------------------------------------------------- #
+    def _do_compute(self, process: SimProcess, syscall: Compute) -> None:
+        if syscall.work_units < 0:
+            raise SimulationError(f"negative compute from {process.name!r}")
+        process.state = ProcessState.COMPUTING
+        node = self._nodes[process.node_name]
+        if syscall.work_units == 0:
+            self.schedule_at(self.now, self._resume, process.name, None)
+            return
+        node.start_computation(
+            process.name,
+            syscall.work_units,
+            on_complete=lambda name=process.name: self.schedule_at(
+                self.now, self._resume, name, None
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        until_time: Optional[float] = None,
+        until_process: Optional[str] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run the simulation and return the final simulated time.
+
+        Stops when the event queue empties, when ``until_time`` is reached,
+        when the process named ``until_process`` finishes, or after
+        ``max_events`` events — whichever comes first.
+        """
+        events_fired = 0
+        target = self._processes.get(until_process) if until_process else None
+        if until_process is not None and target is None:
+            raise ValueError(f"unknown process {until_process!r}")
+        while self.queue:
+            if target is not None and target.state in (ProcessState.FINISHED, ProcessState.FAILED):
+                break
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until_time is not None and next_time > until_time:
+                self.now = until_time
+                break
+            event = self.queue.pop()
+            if event is None:
+                break
+            self.now = event.time
+            event.fire()
+            events_fired += 1
+            if max_events is not None and events_fired >= max_events:
+                break
+        return self.now
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+    def blocked_processes(self) -> List[str]:
+        """Names of processes currently blocked on a receive."""
+        return [
+            p.name for p in self._processes.values() if p.state is ProcessState.BLOCKED_RECV
+        ]
+
+    def failed_processes(self) -> List[str]:
+        """Names of processes that terminated with an exception."""
+        return [p.name for p in self._processes.values() if p.state is ProcessState.FAILED]

@@ -1,0 +1,98 @@
+"""Work counters: the bridge between executed search work and simulated time.
+
+The paper measures wall-clock seconds of a C + MPI implementation on physical
+hardware.  A pure-Python reproduction cannot reproduce those absolute numbers,
+and a single host cannot reproduce 64-way scaling, so the cluster experiments
+of this library run on a simulated cluster (see :mod:`repro.cluster`).  The
+searches themselves are *really executed*; what is simulated is only the time
+they take on a node of a given frequency.
+
+The unit of work is the **primitive move application** (one ``apply`` on a
+game state), because in Morpion Solitaire — and in the other domains — the
+cost of a rollout is proportional to the number of moves it plays.  Every
+search algorithm in :mod:`repro.core` threads a :class:`WorkCounter` through
+its playouts; the cost model (:mod:`repro.timemodel`) converts the counter
+into simulated seconds for the executing node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["WorkCounter", "NULL_COUNTER"]
+
+
+@dataclass
+class WorkCounter:
+    """Accumulates the amount of search work performed.
+
+    Attributes
+    ----------
+    moves:
+        Number of primitive move applications (the cost unit).
+    playouts:
+        Number of random playouts completed.
+    nested_calls:
+        Number of nested-search invocations (any level).
+    """
+
+    moves: int = 0
+    playouts: int = 0
+    nested_calls: int = 0
+
+    def add_moves(self, n: int) -> None:
+        """Record ``n`` primitive move applications (and one playout)."""
+        self.moves += int(n)
+        self.playouts += 1
+
+    def add_step(self, n: int = 1) -> None:
+        """Record ``n`` move applications outside a playout (tree descent)."""
+        self.moves += int(n)
+
+    def add_nested_call(self) -> None:
+        """Record one nested-search invocation."""
+        self.nested_calls += 1
+
+    def merge(self, other: "WorkCounter") -> None:
+        """Fold another counter into this one."""
+        self.moves += other.moves
+        self.playouts += other.playouts
+        self.nested_calls += other.nested_calls
+
+    def snapshot(self) -> "WorkCounter":
+        """An independent copy of the current totals."""
+        return WorkCounter(self.moves, self.playouts, self.nested_calls)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.moves = 0
+        self.playouts = 0
+        self.nested_calls = 0
+
+    def __add__(self, other: "WorkCounter") -> "WorkCounter":
+        return WorkCounter(
+            self.moves + other.moves,
+            self.playouts + other.playouts,
+            self.nested_calls + other.nested_calls,
+        )
+
+
+class _NullCounter(WorkCounter):
+    """A counter that ignores every update (used when work tracking is off)."""
+
+    def add_moves(self, n: int) -> None:  # noqa: D102 - see base class
+        pass
+
+    def add_step(self, n: int = 1) -> None:  # noqa: D102
+        pass
+
+    def add_nested_call(self) -> None:  # noqa: D102
+        pass
+
+    def merge(self, other: WorkCounter) -> None:  # noqa: D102
+        pass
+
+
+#: Shared do-nothing counter for callers that do not care about work totals.
+NULL_COUNTER = _NullCounter()

@@ -1,0 +1,97 @@
+"""Flat (non-nested) Monte-Carlo search baseline.
+
+The paper motivates Nested Monte-Carlo Search as an improvement over "simple
+Monte-Carlo search" for problems with a large state space and no good
+heuristic (Section I).  This module provides that simple baseline so that
+examples and ablation benchmarks can quantify what the nesting buys: at each
+step every legal move is evaluated with ``playouts_per_move`` random playouts
+and the move with the best (maximum or mean) playout score is played.
+
+Unlike NMCS, flat Monte-Carlo has no best-sequence memorisation — it commits
+to the locally best move even when an earlier playout had already found a
+better full sequence.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.core.counters import WorkCounter
+from repro.core.result import SearchResult
+from repro.core.sample import sample
+from repro.games.base import GameState, Move
+from repro.prng import SeedSequence
+
+__all__ = ["Aggregation", "flat_monte_carlo"]
+
+
+class Aggregation(str, enum.Enum):
+    """How the playout scores of a candidate move are aggregated."""
+
+    MAX = "max"
+    MEAN = "mean"
+
+
+def flat_monte_carlo(
+    state: GameState,
+    playouts_per_move: int,
+    seeds: SeedSequence,
+    aggregation: "Aggregation | str" = Aggregation.MAX,
+    counter: Optional[WorkCounter] = None,
+    max_steps: Optional[int] = None,
+) -> SearchResult:
+    """Play a full game with flat Monte-Carlo move selection.
+
+    Parameters
+    ----------
+    state:
+        Starting position (not modified).
+    playouts_per_move:
+        Number of random playouts used to evaluate each candidate move.
+    seeds:
+        Seed sequence controlling every playout.
+    aggregation:
+        ``MAX`` (default, comparable to NMCS level 1 when
+        ``playouts_per_move=1``) or ``MEAN``.
+    max_steps:
+        Commit at most this many moves, as in the nested search.
+    """
+    if playouts_per_move < 1:
+        raise ValueError("playouts_per_move must be >= 1")
+    aggregation = Aggregation(aggregation)
+    work = counter if counter is not None else WorkCounter()
+    position = state.copy()
+    played: List[Move] = []
+    step = 0
+    while True:
+        moves = position.legal_moves()
+        if not moves:
+            break
+        best_value = float("-inf")
+        best_move = None
+        for i, move in enumerate(moves):
+            child = position.play(move)
+            work.add_step()
+            scores = []
+            for k in range(playouts_per_move):
+                result = sample(
+                    child, seeds=seeds.child("flat", step, i, k), counter=work
+                )
+                scores.append(result.score)
+            value = max(scores) if aggregation is Aggregation.MAX else sum(scores) / len(scores)
+            if value > best_value:
+                best_value = value
+                best_move = move
+        position.apply(best_move)
+        work.add_step()
+        played.append(best_move)
+        step += 1
+        if max_steps is not None and step >= max_steps:
+            break
+    return SearchResult(
+        score=position.score(),
+        sequence=tuple(played),
+        work=work.snapshot(),
+        level=1,
+    )

@@ -1,0 +1,176 @@
+"""Sequential Nested Monte-Carlo Search (Section III of the paper).
+
+The ``nested`` function plays a game; at every step it evaluates every legal
+move with a search one nesting level below (a random playout at level 1) and
+follows the best *sequence* seen so far:
+
+```
+int nested (position, level)
+ 1  best score = -1
+ 2  while not end of game
+ 3    if level is 1
+ 4      move = argmax_m (sample (play (position, m)))
+ 5    else
+ 6      move = argmax_m (nested (play (position, m), level - 1))
+ 7    if score of move > best score
+ 8      best score = score of move
+ 9      best sequence = seq. after move
+10    bestMove = move of best sequence
+11    position = play (position, bestMove)
+12  return score
+```
+
+The memorisation of the best sequence (lines 7–10) is essential: when every
+lower-level search of the current step is worse than what a previous step
+found, the algorithm keeps following the previously found sequence instead of
+committing to a worse move.
+
+Determinism / distribution
+--------------------------
+Every lower-level evaluation derives its random seed from a
+:class:`repro.prng.SeedSequence` extended with ``(level, step, move_index)``.
+This makes the search fully deterministic given the master seed, and — more
+importantly for this reproduction — makes the *result* of each lower-level
+evaluation independent of *where* it is executed.  The parallel algorithms
+(:mod:`repro.parallel`) distribute exactly these evaluations over client
+processes with the same seed derivation, so a parallel run returns the same
+score and sequence as the sequential run it parallelises, whatever the
+schedule.  The tests rely on this equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.counters import WorkCounter
+from repro.core.result import BestTracker, SearchResult
+from repro.core.sample import sample
+from repro.games.base import GameState, Move
+from repro.prng import SeedSequence
+
+__all__ = ["nested_search", "nmcs", "evaluate_move", "candidate_evaluations"]
+
+
+def evaluate_move(
+    state: GameState,
+    move: Move,
+    level: int,
+    seeds: SeedSequence,
+    counter: Optional[WorkCounter] = None,
+) -> SearchResult:
+    """Evaluate one candidate ``move`` with a search at ``level`` below.
+
+    This is the unit of work the parallel algorithms ship to client
+    processes: play ``move`` and run ``nested_search`` (or a playout when
+    ``level == 0``) from the resulting position.  The returned sequence
+    *includes* ``move`` itself so that the caller can splice it directly into
+    its own sequence.
+    """
+    work = counter if counter is not None else WorkCounter()
+    child = state.play(move)
+    work.add_step()
+    if level <= 0:
+        result = sample(child, seeds=seeds, counter=work)
+    else:
+        result = nested_search(child, level, seeds, counter=work)
+    return SearchResult(
+        score=result.score,
+        sequence=(move,) + tuple(result.sequence),
+        work=work.snapshot(),
+        level=level,
+    )
+
+
+def candidate_evaluations(
+    state: GameState,
+    level: int,
+    step: int,
+    seeds: SeedSequence,
+) -> List[Tuple[int, Move, SeedSequence]]:
+    """The lower-level evaluations required at one step of a level-``level`` search.
+
+    Returns ``(move_index, move, child_seeds)`` triples.  Both the sequential
+    and the parallel implementations derive their per-candidate seeds through
+    this single function, which is what guarantees that they perform the same
+    evaluations and therefore obtain identical results.
+    """
+    moves = state.legal_moves()
+    return [
+        (i, move, seeds.child(level, step, i))
+        for i, move in enumerate(moves)
+    ]
+
+
+def nested_search(
+    state: GameState,
+    level: int,
+    seeds: SeedSequence,
+    counter: Optional[WorkCounter] = None,
+    max_steps: Optional[int] = None,
+) -> SearchResult:
+    """Nested Monte-Carlo Search of the given ``level`` from ``state``.
+
+    Parameters
+    ----------
+    state:
+        Starting position (not modified).
+    level:
+        Nesting level; level 0 is a single random playout, level 1 chooses
+        each move by the best of one playout per candidate, etc.
+    seeds:
+        Seed sequence controlling every random decision below this call.
+    counter:
+        Optional shared :class:`WorkCounter`; a fresh one is used otherwise.
+    max_steps:
+        If given, commit at most this many moves at *this* level and then
+        return the best sequence found so far.  ``max_steps=1`` reproduces the
+        paper's "first move" experiments (Tables I, II, IV).
+
+    Returns
+    -------
+    SearchResult
+        Best score found and the move sequence (from ``state``) reaching it.
+    """
+    if level < 0:
+        raise ValueError("level must be >= 0")
+    work = counter if counter is not None else WorkCounter()
+    work.add_nested_call()
+    if level == 0:
+        return sample(state, seeds=seeds, counter=work)
+
+    position = state.copy()
+    best = BestTracker()
+    played: List[Move] = []
+    step = 0
+    while True:
+        evaluations = candidate_evaluations(position, level, step, seeds)
+        if not evaluations:
+            break  # end of game
+        for move_index, move, child_seeds in evaluations:
+            result = evaluate_move(position, move, level - 1, child_seeds, counter=work)
+            best.offer(result.score, tuple(played) + tuple(result.sequence))
+        # Follow the memorised best sequence (lines 7-11 of the pseudo-code).
+        best_move = best.moves[len(played)]
+        position.apply(best_move)
+        work.add_step()
+        played.append(best_move)
+        step += 1
+        if max_steps is not None and step >= max_steps:
+            break
+
+    if best.has_sequence():
+        score, moves = best.best()
+    else:
+        # The starting position was already terminal.
+        score, moves = state.score(), ()
+    return SearchResult(score=score, sequence=moves, work=work.snapshot(), level=level)
+
+
+def nmcs(
+    state: GameState,
+    level: int,
+    seed: int = 0,
+    max_steps: Optional[int] = None,
+) -> SearchResult:
+    """Convenience front-end: run :func:`nested_search` from an integer seed."""
+    return nested_search(state, level, SeedSequence(seed, "nmcs"), max_steps=max_steps)

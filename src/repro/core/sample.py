@@ -1,0 +1,65 @@
+"""The ``sample`` primitive of the paper (Section III).
+
+``sample(position)`` plays uniformly random moves until the end of the game
+and returns the terminal score.  This module wraps the shared playout helper
+of :mod:`repro.games.base` into the :class:`~repro.core.result.SearchResult`
+convention used by every other algorithm, and adds the multi-sample helper
+used by the flat Monte-Carlo baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from repro.core.counters import WorkCounter
+from repro.core.result import SearchResult
+from repro.games.base import GameState, Move, random_playout
+from repro.prng import SeedSequence
+
+__all__ = ["sample", "best_of_samples"]
+
+
+def sample(
+    state: GameState,
+    rng: Optional[random.Random] = None,
+    counter: Optional[WorkCounter] = None,
+    seeds: Optional[SeedSequence] = None,
+) -> SearchResult:
+    """One random playout from ``state`` (the paper's ``sample`` function).
+
+    Exactly one of ``rng`` and ``seeds`` may be given; with neither, a fresh
+    unseeded generator is used (non-reproducible, for interactive use only).
+    """
+    if rng is not None and seeds is not None:
+        raise ValueError("pass either rng or seeds, not both")
+    if rng is None:
+        rng = seeds.rng() if seeds is not None else random.Random()
+    work = counter if counter is not None else WorkCounter()
+    score, moves = random_playout(state, rng, work)
+    return SearchResult(score=score, sequence=moves, work=work.snapshot(), level=0)
+
+
+def best_of_samples(
+    state: GameState,
+    n_samples: int,
+    seeds: SeedSequence,
+    counter: Optional[WorkCounter] = None,
+) -> SearchResult:
+    """Best of ``n_samples`` independent random playouts from ``state``.
+
+    Each playout gets its own derived seed so the result does not depend on
+    the order in which playouts are executed (which matters when they are
+    distributed over clients).
+    """
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    work = counter if counter is not None else WorkCounter()
+    best_score = float("-inf")
+    best_moves: Tuple[Move, ...] = ()
+    for i in range(n_samples):
+        result = sample(state, seeds=seeds.child("sample", i), counter=work)
+        if result.score > best_score:
+            best_score = result.score
+            best_moves = result.sequence
+    return SearchResult(score=best_score, sequence=best_moves, work=work.snapshot(), level=0)

@@ -1,0 +1,214 @@
+"""Core abstractions shared by every search domain.
+
+The paper's pseudo-code manipulates a *position*, a set of *possible moves*,
+a ``play(position, m)`` operation and a terminal *score* to maximise.  The
+:class:`GameState` abstract base class captures exactly that contract; every
+domain in :mod:`repro.games` implements it.
+
+Design notes
+------------
+* ``play`` returns a **new** state (copy-then-apply) because the nested search
+  of the paper evaluates *every* legal move from the current position before
+  committing to one; ``apply`` mutates in place and is used inside playouts
+  where the state is private to the playout.
+* Moves must be hashable and comparable so that sequences of moves can be
+  replayed, compared and stored as dictionary keys by the dispatcher layers.
+* ``score()`` may be called on non-terminal states; it must return the score
+  of the position *as if the game stopped now* (for Morpion Solitaire, the
+  number of moves played so far).  The search algorithms only compare scores,
+  so any total order works.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Move",
+    "GameState",
+    "Sequence",
+    "replay",
+    "play_sequence",
+    "random_playout",
+    "playout_from",
+    "legal_after",
+]
+
+#: A move may be any hashable object; domains define their own concrete types.
+Move = Hashable
+
+
+class GameState(abc.ABC):
+    """Abstract interface of a search problem state.
+
+    Implementations must be *self-contained*: copying a state and playing
+    moves on the copy must never affect the original.
+    """
+
+    # ------------------------------------------------------------------ #
+    # Abstract primitives
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def legal_moves(self) -> List[Move]:
+        """Return the list of legal moves from this position.
+
+        The returned list is owned by the caller (mutating it must not
+        corrupt the state).  An empty list means the position is terminal.
+        """
+
+    @abc.abstractmethod
+    def apply(self, move: Move) -> None:
+        """Play ``move`` in place.  ``move`` must be legal."""
+
+    @abc.abstractmethod
+    def copy(self) -> "GameState":
+        """Return an independent deep-enough copy of this state."""
+
+    @abc.abstractmethod
+    def score(self) -> float:
+        """Score of the position (higher is better).
+
+        For Morpion Solitaire this is the number of moves played; for TSP the
+        negated tour length; etc.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Derived helpers (overridable for performance)
+    # ------------------------------------------------------------------ #
+    def is_terminal(self) -> bool:
+        """True when no legal move remains."""
+        return not self.legal_moves()
+
+    def play(self, move: Move) -> "GameState":
+        """Return a new state with ``move`` played (copy + apply)."""
+        nxt = self.copy()
+        nxt.apply(move)
+        return nxt
+
+    def moves_played(self) -> int:
+        """Number of moves played so far from the initial position.
+
+        Used by the Last-Minute dispatcher of the paper to estimate the
+        *expected remaining computation time* of a job.  Domains that do not
+        track it may fall back on 0 (every job then looks equally long).
+        """
+        return 0
+
+    def heuristic_moves(self) -> List[Move]:
+        """Moves ordered by a domain heuristic (best first).
+
+        Defaults to :meth:`legal_moves`; rollout-with-heuristic algorithms
+        (Section II of the paper: Klondike / Thoughtful solitaire rollouts)
+        use this ordering for their base-level samples.
+        """
+        return self.legal_moves()
+
+
+@dataclass
+class Sequence:
+    """A sequence of moves together with the score it reaches.
+
+    This is the object the nested search propagates upwards ("best sequence"
+    in the paper's pseudo-code) and that the parallel drivers ship between
+    processes.
+    """
+
+    moves: Tuple[Move, ...] = ()
+    score: float = float("-inf")
+
+    def __len__(self) -> int:
+        return len(self.moves)
+
+    def __iter__(self):
+        return iter(self.moves)
+
+    def __bool__(self) -> bool:
+        return len(self.moves) > 0
+
+    def prepend(self, move: Move) -> "Sequence":
+        """Return a new sequence with ``move`` in front (same score)."""
+        return Sequence((move,) + tuple(self.moves), self.score)
+
+    def extend_front(self, moves: Iterable[Move]) -> "Sequence":
+        """Return a new sequence with ``moves`` prepended (same score)."""
+        return Sequence(tuple(moves) + tuple(self.moves), self.score)
+
+    def better_than(self, other: Optional["Sequence"]) -> bool:
+        """Strictly better score than ``other`` (``None`` counts as -inf)."""
+        if other is None:
+            return True
+        return self.score > other.score
+
+
+def play_sequence(state: GameState, moves: Iterable[Move]) -> GameState:
+    """Return a copy of ``state`` after playing every move of ``moves``.
+
+    Raises ``ValueError`` if a move is illegal at the point it is played; this
+    is the integrity check used by the tests ("every result replays").
+    """
+    current = state.copy()
+    for i, move in enumerate(moves):
+        legal = current.legal_moves()
+        if move not in legal:
+            raise ValueError(
+                f"move #{i} ({move!r}) is illegal at that point "
+                f"({len(legal)} legal moves available)"
+            )
+        current.apply(move)
+    return current
+
+
+def replay(state: GameState, sequence: Sequence) -> float:
+    """Replay ``sequence`` from ``state`` and return the reached score.
+
+    The returned score is recomputed from the final position (not read from
+    the sequence), which lets tests verify that stored scores are truthful.
+    """
+    return play_sequence(state, sequence.moves).score()
+
+
+def playout_from(
+    state: GameState,
+    rng: random.Random,
+    counter: Optional["object"] = None,
+) -> Tuple[float, Tuple[Move, ...]]:
+    """Play uniformly random moves from ``state`` until terminal (in place).
+
+    ``state`` **is mutated**.  Returns ``(score, moves_played)``.
+
+    ``counter`` — if given, an object with an ``add_moves(n)`` method (see
+    :class:`repro.core.counters.WorkCounter`) incremented with the number of
+    moves played, which feeds the simulated-time cost model.
+    """
+    moves_played: List[Move] = []
+    while True:
+        legal = state.legal_moves()
+        if not legal:
+            break
+        move = legal[rng.randrange(len(legal))]
+        state.apply(move)
+        moves_played.append(move)
+    if counter is not None:
+        counter.add_moves(len(moves_played))
+    return state.score(), tuple(moves_played)
+
+
+def random_playout(
+    state: GameState,
+    rng: random.Random,
+    counter: Optional["object"] = None,
+) -> Tuple[float, Tuple[Move, ...]]:
+    """Non-destructive random playout: copies ``state`` first.
+
+    This is the paper's ``sample(position)`` primitive (Section III), returning
+    both the terminal score and the move sequence that reached it.
+    """
+    return playout_from(state.copy(), rng, counter)
+
+
+def legal_after(state: GameState, moves: Iterable[Move]) -> List[Move]:
+    """Legal moves after playing ``moves`` from ``state`` (convenience)."""
+    return play_sequence(state, moves).legal_moves()

@@ -1,0 +1,43 @@
+"""Morpion Solitaire — the evaluation domain of the paper (Section I and V).
+
+Morpion Solitaire is an NP-hard pencil-and-paper puzzle.  The grid initially
+contains a cross of circles; each move adds one circle such that a line of
+``line_length`` circles (horizontal, vertical or diagonal) can be drawn
+through it, and draws that line.  The goal is to play as many moves as
+possible.
+
+Two rule variants are supported:
+
+* **disjoint (5D)** — two lines with the same direction may not share *any*
+  point.  This is the variant evaluated in the paper (best human score 68,
+  previous computer record 79, the paper's parallel NMCS found 80).
+* **touching (5T)** — two lines with the same direction may share an endpoint
+  but not a segment.
+
+The implementation is parametrised by ``line_length`` so that scaled-down
+boards (e.g. 4D) can be used for fast tests and CI-sized benchmark runs.
+"""
+
+from repro.games.morpion.geometry import (
+    DIRECTIONS,
+    cross_points,
+    line_cells,
+    segment_starts,
+)
+from repro.games.morpion.state import MorpionMove, MorpionState, MorpionVariant
+from repro.games.morpion.records import reference_records, RECORD_SCORES
+from repro.games.morpion.render import render_grid, render_state
+
+__all__ = [
+    "DIRECTIONS",
+    "cross_points",
+    "line_cells",
+    "segment_starts",
+    "MorpionMove",
+    "MorpionState",
+    "MorpionVariant",
+    "reference_records",
+    "RECORD_SCORES",
+    "render_grid",
+    "render_state",
+]

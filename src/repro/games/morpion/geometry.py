@@ -1,0 +1,108 @@
+"""Grid geometry for Morpion Solitaire.
+
+All coordinates are integer ``(x, y)`` pairs.  The board is conceptually
+unbounded: moves may extend beyond the initial cross in every direction, as in
+the paper-and-pencil game.
+
+Four canonical line directions are used (the four "positive" half-directions);
+a line and its reverse are the same line, so restricting to these four removes
+duplicates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+__all__ = [
+    "Point",
+    "DIRECTIONS",
+    "NEIGHBOUR_OFFSETS",
+    "line_cells",
+    "segment_starts",
+    "neighbours",
+    "cross_points",
+    "bounding_box",
+]
+
+Point = Tuple[int, int]
+
+#: The four canonical directions: horizontal, vertical, diagonal, anti-diagonal.
+DIRECTIONS: Tuple[Point, ...] = ((1, 0), (0, 1), (1, 1), (1, -1))
+
+#: The eight king-move offsets (used to maintain the candidate-cell frontier).
+NEIGHBOUR_OFFSETS: Tuple[Point, ...] = (
+    (-1, -1), (-1, 0), (-1, 1),
+    (0, -1), (0, 1),
+    (1, -1), (1, 0), (1, 1),
+)
+
+
+def line_cells(start: Point, direction: Point, length: int) -> Tuple[Point, ...]:
+    """The ``length`` cells of the line starting at ``start`` along ``direction``."""
+    sx, sy = start
+    dx, dy = direction
+    return tuple((sx + i * dx, sy + i * dy) for i in range(length))
+
+
+def segment_starts(start: Point, direction: Point, length: int) -> Tuple[Point, ...]:
+    """The cells that *start* each unit segment of the line (``length - 1`` of them).
+
+    Segment ``i`` joins cell ``i`` to cell ``i+1``; identifying it by its start
+    cell (together with the direction) is unambiguous because directions are
+    canonical.  These are the objects marked as "used" in the touching (5T)
+    variant.
+    """
+    sx, sy = start
+    dx, dy = direction
+    return tuple((sx + i * dx, sy + i * dy) for i in range(length - 1))
+
+
+def neighbours(point: Point) -> Tuple[Point, ...]:
+    """The eight neighbouring cells of ``point``."""
+    x, y = point
+    return tuple((x + ox, y + oy) for ox, oy in NEIGHBOUR_OFFSETS)
+
+
+def cross_points(line_length: int = 5) -> Set[Point]:
+    """The initial cross of circles for a given ``line_length``.
+
+    For ``line_length = 5`` this is the standard 36-point Greek cross used by
+    the paper (figure 1); for other lengths the construction scales so that
+    each straight edge of the cross outline holds ``line_length - 1`` points
+    and the first moves can complete lines of ``line_length``.
+
+    The cross fits in the square ``[0, 3s] x [0, 3s]`` with ``s = line_length - 2``.
+    """
+    if line_length < 3:
+        raise ValueError("line_length must be at least 3")
+    s = line_length - 2
+    pts: Set[Point] = set()
+    # Top and bottom edges of the plus outline.
+    for x in range(s, 2 * s + 1):
+        pts.add((x, 0))
+        pts.add((x, 3 * s))
+    # Short vertical runs just below / above those edges.
+    for y in range(1, s):
+        pts.add((s, y))
+        pts.add((2 * s, y))
+        pts.add((s, 3 * s - y))
+        pts.add((2 * s, 3 * s - y))
+    # The two long horizontal rows (left and right arms).
+    for x in list(range(0, s + 1)) + list(range(2 * s, 3 * s + 1)):
+        pts.add((x, s))
+        pts.add((x, 2 * s))
+    # Outer vertical runs of the left and right arms.
+    for y in range(s + 1, 2 * s):
+        pts.add((0, y))
+        pts.add((3 * s, y))
+    return pts
+
+
+def bounding_box(points: Iterable[Point]) -> Tuple[int, int, int, int]:
+    """``(min_x, min_y, max_x, max_y)`` of a non-empty point collection."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("bounding_box of an empty point set")
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    return min(xs), min(ys), max(xs), max(ys)

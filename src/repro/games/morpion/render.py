@@ -1,0 +1,80 @@
+"""Text rendering of Morpion Solitaire grids (Figure 1 of the paper).
+
+Figure 1 of the paper shows a found world-record grid: the initial cross plus
+every played circle annotated with its move number.  :func:`render_state`
+reproduces that figure as text — initial circles are shown as ``( o)`` and
+played circles as their 1-based move number — so that any sequence found by
+the library (sequential or parallel search) can be displayed and compared.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.games.morpion.geometry import Point, bounding_box
+from repro.games.morpion.state import MorpionMove, MorpionState
+
+__all__ = ["render_grid", "render_state", "render_sequence"]
+
+
+def render_grid(
+    initial: Iterable[Point],
+    moves: Sequence[MorpionMove] = (),
+    margin: int = 1,
+) -> str:
+    """Render a grid of initial circles and numbered played circles.
+
+    Parameters
+    ----------
+    initial:
+        The circles of the starting position.
+    moves:
+        The moves played, in order; move ``i`` is labelled ``i + 1``.
+    margin:
+        Number of empty cells drawn around the bounding box of the content.
+    """
+    initial = set(initial)
+    labels: Dict[Point, str] = {p: "o" for p in initial}
+    for i, move in enumerate(moves):
+        labels[move.point] = str(i + 1)
+    if not labels:
+        return "(empty grid)"
+    min_x, min_y, max_x, max_y = bounding_box(labels.keys())
+    min_x -= margin
+    min_y -= margin
+    max_x += margin
+    max_y += margin
+    width = max(2, max((len(s) for s in labels.values()), default=1))
+    cell_format = "{:>%d}" % width
+    empty_cell = cell_format.format("." )
+    lines = []
+    # Render with y increasing downwards (like the paper's figure orientation).
+    for y in range(min_y, max_y + 1):
+        row = []
+        for x in range(min_x, max_x + 1):
+            label = labels.get((x, y))
+            row.append(cell_format.format(label) if label is not None else empty_cell)
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def render_state(state: MorpionState, margin: int = 1) -> str:
+    """Render a :class:`MorpionState` (initial cross + numbered moves)."""
+    return render_grid(state.initial_points(), state.history(), margin=margin)
+
+
+def render_sequence(
+    base_state: MorpionState,
+    moves: Sequence[MorpionMove],
+    margin: int = 1,
+) -> str:
+    """Render the grid reached by playing ``moves`` from ``base_state``.
+
+    The moves are replayed (and therefore validated) before rendering; an
+    illegal sequence raises ``ValueError`` — the renderer never shows a grid
+    that the rules cannot produce.
+    """
+    state = base_state.copy()
+    for move in moves:
+        state.apply(move)
+    return render_state(state, margin=margin)

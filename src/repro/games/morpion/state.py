@@ -1,0 +1,324 @@
+"""Morpion Solitaire game state (disjoint and touching variants).
+
+The state keeps, besides the occupied cells, an **incrementally maintained**
+set of legal moves: after each move only the lines through the new point can
+become legal and only moves conflicting with the new point / the newly used
+points or segments can become illegal.  A full re-scan
+(:meth:`MorpionState.recompute_legal_moves`) is kept for cross-checking in the
+property-based tests.
+
+A move is a :class:`MorpionMove` ``(point, direction_index, start)``: the new
+circle ``point`` and the line identified by its starting cell ``start`` and
+its canonical direction index.  Two moves placing the same point but drawing
+different lines are distinct moves, exactly as in the paper-and-pencil game.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+from repro.games.base import GameState, Move
+from repro.games.morpion.geometry import (
+    DIRECTIONS,
+    Point,
+    cross_points,
+    line_cells,
+    neighbours,
+    segment_starts,
+)
+
+__all__ = ["MorpionVariant", "MorpionMove", "MorpionState"]
+
+
+class MorpionVariant(str, enum.Enum):
+    """Rule variant: how two lines of the same direction may interact."""
+
+    #: Lines of the same direction may not share any point (paper's variant).
+    DISJOINT = "disjoint"
+    #: Lines of the same direction may share endpoints but not segments.
+    TOUCHING = "touching"
+
+    @classmethod
+    def parse(cls, value: "MorpionVariant | str") -> "MorpionVariant":
+        """Accept either an enum member or its string value ("5D"/"5T" aliases too)."""
+        if isinstance(value, MorpionVariant):
+            return value
+        normalized = str(value).strip().lower()
+        aliases = {
+            "disjoint": cls.DISJOINT,
+            "5d": cls.DISJOINT,
+            "d": cls.DISJOINT,
+            "touching": cls.TOUCHING,
+            "5t": cls.TOUCHING,
+            "t": cls.TOUCHING,
+        }
+        if normalized not in aliases:
+            raise ValueError(f"unknown Morpion variant {value!r}")
+        return aliases[normalized]
+
+
+class MorpionMove(NamedTuple):
+    """A Morpion move: place ``point`` and draw the line ``(start, direction)``."""
+
+    point: Point
+    direction: int  # index into geometry.DIRECTIONS
+    start: Point
+
+    def cells(self, line_length: int) -> Tuple[Point, ...]:
+        """The cells of the drawn line."""
+        return line_cells(self.start, DIRECTIONS[self.direction], line_length)
+
+
+class MorpionState(GameState):
+    """A Morpion Solitaire position.
+
+    Parameters
+    ----------
+    line_length:
+        Number of circles per line (5 for the standard game, 4 for the
+        scaled-down boards used in fast experiments).
+    variant:
+        :class:`MorpionVariant` (or its string form).
+    initial_points:
+        Optional explicit starting circles; defaults to the standard cross for
+        the chosen ``line_length``.
+    max_moves:
+        Optional cap on the game length: once this many moves have been
+        played the position is terminal even if further lines could be drawn.
+        The full game has no such cap; the cap exists so that tests and
+        CI-sized benchmark workloads can bound the cost of a playout while
+        keeping the branching structure of the real game.
+    """
+
+    __slots__ = (
+        "line_length",
+        "variant",
+        "max_moves",
+        "_initial",
+        "_occupied",
+        "_candidates",
+        "_used",
+        "_legal",
+        "_history",
+    )
+
+    def __init__(
+        self,
+        line_length: int = 5,
+        variant: "MorpionVariant | str" = MorpionVariant.DISJOINT,
+        initial_points: Optional[Iterable[Point]] = None,
+        max_moves: Optional[int] = None,
+    ) -> None:
+        if line_length < 3:
+            raise ValueError("line_length must be at least 3")
+        if max_moves is not None and max_moves < 0:
+            raise ValueError("max_moves must be non-negative when given")
+        self.line_length = line_length
+        self.variant = MorpionVariant.parse(variant)
+        self.max_moves = max_moves
+        pts = set(initial_points) if initial_points is not None else cross_points(line_length)
+        if not pts:
+            raise ValueError("the initial position needs at least one circle")
+        self._initial: FrozenSet[Point] = frozenset(pts)
+        self._occupied: Set[Point] = set(pts)
+        self._candidates: Set[Point] = set()
+        for p in pts:
+            for q in neighbours(p):
+                if q not in self._occupied:
+                    self._candidates.add(q)
+        # Per-direction usage marks: points for DISJOINT, segment starts for TOUCHING.
+        self._used: List[Set[Point]] = [set() for _ in DIRECTIONS]
+        self._history: List[MorpionMove] = []
+        self._legal: Set[MorpionMove] = self._scan_all_legal()
+
+    # ------------------------------------------------------------------ #
+    # Rule primitives
+    # ------------------------------------------------------------------ #
+    def _usage_marks(self, move: MorpionMove) -> Tuple[Point, ...]:
+        """The cells this move marks as used in its direction."""
+        direction = DIRECTIONS[move.direction]
+        if self.variant is MorpionVariant.DISJOINT:
+            return line_cells(move.start, direction, self.line_length)
+        return segment_starts(move.start, direction, self.line_length)
+
+    def _conflicts(self, move: MorpionMove) -> bool:
+        """True if the move's line re-uses a point/segment already used in its direction."""
+        used = self._used[move.direction]
+        if not used:
+            return False
+        return any(cell in used for cell in self._usage_marks(move))
+
+    def _window_move(self, start: Point, di: int) -> Optional[MorpionMove]:
+        """If the window ``(start, di)`` has exactly one empty cell and no
+        conflict, return the corresponding legal move, else ``None``."""
+        direction = DIRECTIONS[di]
+        cells = line_cells(start, direction, self.line_length)
+        empty: Optional[Point] = None
+        for cell in cells:
+            if cell not in self._occupied:
+                if empty is not None:
+                    return None  # two empty cells: not playable yet
+                empty = cell
+        if empty is None:
+            return None  # fully occupied window: nothing to place
+        move = MorpionMove(empty, di, start)
+        if self._conflicts(move):
+            return None
+        return move
+
+    def _scan_all_legal(self) -> Set[MorpionMove]:
+        """Full scan of legal moves (used at construction and for testing)."""
+        legal: Set[MorpionMove] = set()
+        length = self.line_length
+        for p in self._candidates:
+            for di, (dx, dy) in enumerate(DIRECTIONS):
+                for offset in range(length):
+                    start = (p[0] - offset * dx, p[1] - offset * dy)
+                    move = self._window_move(start, di)
+                    if move is not None and move.point == p:
+                        legal.add(move)
+        return legal
+
+    def recompute_legal_moves(self) -> List[MorpionMove]:
+        """Legal moves recomputed from scratch (ignores the incremental cache)."""
+        return sorted(self._scan_all_legal())
+
+    # ------------------------------------------------------------------ #
+    # GameState interface
+    # ------------------------------------------------------------------ #
+    def legal_moves(self) -> List[Move]:
+        if self.max_moves is not None and len(self._history) >= self.max_moves:
+            return []
+        return sorted(self._legal)
+
+    def is_terminal(self) -> bool:
+        if self.max_moves is not None and len(self._history) >= self.max_moves:
+            return True
+        return not self._legal
+
+    def apply(self, move: Move) -> None:
+        if self.max_moves is not None and len(self._history) >= self.max_moves:
+            raise ValueError("the move cap has been reached; the game is over")
+        if not isinstance(move, MorpionMove):
+            # Allow plain tuples of the right shape (e.g. after (de)serialisation).
+            try:
+                move = MorpionMove(*move)  # type: ignore[misc]
+            except TypeError as exc:  # pragma: no cover - defensive
+                raise ValueError(f"not a Morpion move: {move!r}") from exc
+        if move not in self._legal:
+            raise ValueError(f"illegal Morpion move {move!r}")
+        length = self.line_length
+        p = move.point
+        new_marks = set(self._usage_marks(move))
+
+        # 1. Occupancy and candidate frontier.
+        self._occupied.add(p)
+        self._candidates.discard(p)
+        for q in neighbours(p):
+            if q not in self._occupied:
+                self._candidates.add(q)
+
+        # 2. Usage marks for the move's direction.
+        self._used[move.direction] |= new_marks
+
+        # 3. Incremental legal-move maintenance.
+        #    (a) moves that wanted to place a circle on p are gone;
+        #    (b) moves in the same direction that now conflict are gone;
+        #    (c) windows through p may have become playable.
+        still_legal: Set[MorpionMove] = set()
+        for m in self._legal:
+            if m.point == p:
+                continue
+            if m.direction == move.direction and any(
+                cell in new_marks for cell in self._usage_marks(m)
+            ):
+                continue
+            still_legal.add(m)
+        self._legal = still_legal
+        for di, (dx, dy) in enumerate(DIRECTIONS):
+            for offset in range(length):
+                start = (p[0] - offset * dx, p[1] - offset * dy)
+                candidate = self._window_move(start, di)
+                if candidate is not None:
+                    self._legal.add(candidate)
+
+        self._history.append(move)
+
+    def copy(self) -> "MorpionState":
+        clone = MorpionState.__new__(MorpionState)
+        clone.line_length = self.line_length
+        clone.variant = self.variant
+        clone.max_moves = self.max_moves
+        clone._initial = self._initial
+        clone._occupied = set(self._occupied)
+        clone._candidates = set(self._candidates)
+        clone._used = [set(u) for u in self._used]
+        clone._legal = set(self._legal)
+        clone._history = list(self._history)
+        return clone
+
+    def score(self) -> float:
+        """Morpion's objective: the number of moves played."""
+        return float(len(self._history))
+
+    def moves_played(self) -> int:
+        return len(self._history)
+
+    # ------------------------------------------------------------------ #
+    # Introspection used by rendering, records and tests
+    # ------------------------------------------------------------------ #
+    def occupied(self) -> FrozenSet[Point]:
+        """All circles currently on the grid (initial cross + played moves)."""
+        return frozenset(self._occupied)
+
+    def initial_points(self) -> FrozenSet[Point]:
+        """The circles of the starting position."""
+        return self._initial
+
+    def history(self) -> Tuple[MorpionMove, ...]:
+        """The moves played so far, in order."""
+        return tuple(self._history)
+
+    def used_marks(self) -> Tuple[FrozenSet[Point], ...]:
+        """Per-direction used points (disjoint) or segment starts (touching)."""
+        return tuple(frozenset(u) for u in self._used)
+
+    def lines_drawn(self) -> List[Tuple[Point, ...]]:
+        """The full cell tuples of every line drawn so far, in play order."""
+        return [m.cells(self.line_length) for m in self._history]
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if an internal invariant is violated.
+
+        Exercised heavily by the property-based tests: the usage marks must be
+        consistent with the history, every played point must be occupied, and
+        the incremental legal-move cache must equal a full re-scan.
+        """
+        expected_used: List[Set[Point]] = [set() for _ in DIRECTIONS]
+        occupied = set(self._initial)
+        for m in self._history:
+            assert m.point not in occupied, "move placed a circle on an occupied cell"
+            cells = m.cells(self.line_length)
+            for cell in cells:
+                if cell != m.point:
+                    assert cell in occupied, "line drawn through an empty cell"
+            direction = DIRECTIONS[m.direction]
+            if self.variant is MorpionVariant.DISJOINT:
+                marks = set(cells)
+            else:
+                marks = set(segment_starts(m.start, direction, self.line_length))
+            assert not (marks & expected_used[m.direction]), (
+                "two lines of the same direction share a forbidden point/segment"
+            )
+            expected_used[m.direction] |= marks
+            occupied.add(m.point)
+        assert occupied == self._occupied, "occupancy inconsistent with history"
+        assert [set(u) for u in self._used] == expected_used, "usage marks inconsistent"
+        assert self._legal == self._scan_all_legal(), "incremental legal moves diverged"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MorpionState(length={self.line_length}, variant={self.variant.value}, "
+            f"moves={len(self._history)}, legal={len(self._legal)})"
+        )

@@ -1,0 +1,199 @@
+"""SameGame puzzle as a :class:`~repro.games.base.GameState`.
+
+SameGame is a classic single-agent Monte-Carlo search benchmark (it is the
+domain used in the companion paper "Nested Monte-Carlo Search", IJCAI 2009,
+reference [7] of the parallel paper).  It exercises the library on a domain
+whose scoring is *not* simply the number of moves played, unlike Morpion
+Solitaire, which matters for testing the generality of the search code.
+
+Rules
+-----
+* The board is a grid of coloured cells (0 = empty).
+* A move removes a connected group (4-neighbourhood) of at least two cells of
+  the same colour and scores ``(n - 2)**2`` points where ``n`` is the group
+  size.
+* After a removal, cells fall down within their column (gravity) and empty
+  columns are compacted to the left.
+* Clearing the whole board grants a bonus of 1000 points.
+* The game ends when no group of two or more cells remains.
+
+Moves are identified by the *anchor cell* of the group: the (column, row) of
+the lowest-then-leftmost cell of the group, which is stable under the
+canonical board representation and therefore hashable and replayable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.games.base import GameState, Move
+
+__all__ = ["SameGameState", "random_board"]
+
+Cell = Tuple[int, int]  # (column, row) with row 0 at the bottom
+
+
+def random_board(
+    width: int = 15,
+    height: int = 15,
+    colors: int = 5,
+    seed: int = 0,
+) -> List[List[int]]:
+    """Generate a random SameGame board.
+
+    The board is a list of ``width`` columns, each a list of ``height`` colour
+    values in ``1..colors``.  A fixed ``seed`` gives a reproducible instance.
+    """
+    if width < 1 or height < 1:
+        raise ValueError("board dimensions must be positive")
+    if colors < 1:
+        raise ValueError("colors must be >= 1")
+    rng = random.Random(seed)
+    return [
+        [rng.randint(1, colors) for _ in range(height)] for _ in range(width)
+    ]
+
+
+class SameGameState(GameState):
+    """SameGame position (see module docstring)."""
+
+    FULL_CLEAR_BONUS = 1000.0
+
+    __slots__ = ("_columns", "_score", "_moves_played", "height")
+
+    def __init__(self, board: Sequence[Sequence[int]], height: Optional[int] = None):
+        # Internally columns only store the stacked (non-empty) cells, bottom
+        # first; ``height`` is retained for rendering / invariants.
+        self._columns: List[List[int]] = [list(col) for col in board]
+        self.height = height if height is not None else (
+            max((len(c) for c in self._columns), default=0)
+        )
+        for col in self._columns:
+            if len(col) > self.height:
+                raise ValueError("column taller than the declared height")
+            if any(v <= 0 for v in col):
+                raise ValueError("board colours must be positive integers")
+        self._score = 0.0
+        self._moves_played = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def random(
+        cls, width: int = 15, height: int = 15, colors: int = 5, seed: int = 0
+    ) -> "SameGameState":
+        """A random instance of the usual 15x15, 5-colour benchmark size."""
+        return cls(random_board(width, height, colors, seed), height=height)
+
+    # ------------------------------------------------------------------ #
+    # Group computation
+    # ------------------------------------------------------------------ #
+    def _cell_color(self, col: int, row: int) -> int:
+        if 0 <= col < len(self._columns) and 0 <= row < len(self._columns[col]):
+            return self._columns[col][row]
+        return 0
+
+    def _group_at(self, col: int, row: int) -> FrozenSet[Cell]:
+        """Connected same-colour group containing (col, row)."""
+        color = self._cell_color(col, row)
+        if color == 0:
+            return frozenset()
+        seen = {(col, row)}
+        stack = [(col, row)]
+        while stack:
+            c, r = stack.pop()
+            for nc, nr in ((c + 1, r), (c - 1, r), (c, r + 1), (c, r - 1)):
+                if (nc, nr) not in seen and self._cell_color(nc, nr) == color:
+                    seen.add((nc, nr))
+                    stack.append((nc, nr))
+        return frozenset(seen)
+
+    def _groups(self) -> Dict[Cell, FrozenSet[Cell]]:
+        """All removable groups keyed by their anchor cell."""
+        assigned: set = set()
+        groups: Dict[Cell, FrozenSet[Cell]] = {}
+        for ci, col in enumerate(self._columns):
+            for ri in range(len(col)):
+                if (ci, ri) in assigned:
+                    continue
+                group = self._group_at(ci, ri)
+                assigned |= group
+                if len(group) >= 2:
+                    anchor = min(group, key=lambda cell: (cell[1], cell[0]))
+                    groups[anchor] = group
+        return groups
+
+    # ------------------------------------------------------------------ #
+    # GameState interface
+    # ------------------------------------------------------------------ #
+    def legal_moves(self) -> List[Move]:
+        return sorted(self._groups().keys())
+
+    def apply(self, move: Move) -> None:
+        groups = self._groups()
+        if move not in groups:
+            raise ValueError(f"illegal SameGame move {move!r}")
+        group = groups[move]
+        n = len(group)
+        # Remove the cells column by column (from the top so indices stay valid).
+        by_column: Dict[int, List[int]] = {}
+        for c, r in group:
+            by_column.setdefault(c, []).append(r)
+        for c, rows in by_column.items():
+            for r in sorted(rows, reverse=True):
+                del self._columns[c][r]
+        # Compact empty columns to the left.
+        self._columns = [col for col in self._columns if col]
+        self._score += float((n - 2) ** 2)
+        self._moves_played += 1
+        if not self._columns:
+            self._score += self.FULL_CLEAR_BONUS
+
+    def copy(self) -> "SameGameState":
+        clone = SameGameState.__new__(SameGameState)
+        clone._columns = [list(col) for col in self._columns]
+        clone.height = self.height
+        clone._score = self._score
+        clone._moves_played = self._moves_played
+        return clone
+
+    def score(self) -> float:
+        return self._score
+
+    def moves_played(self) -> int:
+        return self._moves_played
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers used by tests and examples
+    # ------------------------------------------------------------------ #
+    def remaining_cells(self) -> int:
+        """Number of non-empty cells left on the board."""
+        return sum(len(col) for col in self._columns)
+
+    def cleared(self) -> bool:
+        """True when the whole board has been removed."""
+        return self.remaining_cells() == 0
+
+    def columns(self) -> List[List[int]]:
+        """A copy of the internal column representation (bottom first)."""
+        return [list(col) for col in self._columns]
+
+    def render(self) -> str:
+        """ASCII rendering, one character per cell, top row first."""
+        width = len(self._columns)
+        lines = []
+        for row in range(self.height - 1, -1, -1):
+            line = []
+            for col in range(width):
+                v = self._cell_color(col, row)
+                line.append("." if v == 0 else str(v % 10))
+            lines.append("".join(line) if line else "")
+        return "\n".join(lines) if lines else "(empty board)"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SameGameState(cells={self.remaining_cells()}, "
+            f"score={self._score}, moves={self._moves_played})"
+        )

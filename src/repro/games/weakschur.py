@@ -1,0 +1,118 @@
+"""Weak Schur number partitioning as a nested-search domain.
+
+A *weakly sum-free* partition of ``{1, .., n}`` into ``k`` parts is one where
+no part contains three *distinct* integers ``x < y < z`` with ``x + y = z``.
+The Weak Schur problem asks for the largest ``n`` reachable with ``k`` parts.
+It is one of the combinatorial problems on which Nested Monte-Carlo Search
+produced record results, and it stresses the library with a domain whose
+branching factor is fixed (``k``) but whose game length is the quantity being
+maximised — structurally identical to Morpion Solitaire but much cheaper,
+which makes it handy for fast integration tests of the parallel drivers.
+
+State
+-----
+Integers are assigned in increasing order (1, then 2, ...).  A move is the
+index of the part that receives the next integer; a move is legal if adding
+the integer keeps the part weakly sum-free.  The game ends when the next
+integer cannot be added to any part (or an optional ``limit`` is reached).
+The score is the largest integer successfully placed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.games.base import GameState, Move
+
+__all__ = ["WeakSchurState"]
+
+
+class WeakSchurState(GameState):
+    """Partition-building state for the weak Schur problem."""
+
+    __slots__ = ("k", "limit", "_parts", "_next")
+
+    def __init__(self, k: int = 3, limit: Optional[int] = None):
+        if k < 1:
+            raise ValueError("need at least one part")
+        if limit is not None and limit < 1:
+            raise ValueError("limit must be positive when given")
+        self.k = k
+        self.limit = limit
+        self._parts: List[Set[int]] = [set() for _ in range(k)]
+        self._next = 1
+
+    # ------------------------------------------------------------------ #
+    # Rule helpers
+    # ------------------------------------------------------------------ #
+    def _can_place(self, part_index: int, value: int) -> bool:
+        """True if ``value`` can join part ``part_index`` weakly sum-free."""
+        part = self._parts[part_index]
+        # value must not be the sum of two distinct existing members...
+        for x in part:
+            y = value - x
+            if y in part and y != x:
+                return False
+        # ...and must not complete a sum with an existing member as z = value + x.
+        for x in part:
+            if value + x in part and value != x:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # GameState interface
+    # ------------------------------------------------------------------ #
+    def legal_moves(self) -> List[Move]:
+        if self.limit is not None and self._next > self.limit:
+            return []
+        return [i for i in range(self.k) if self._can_place(i, self._next)]
+
+    def apply(self, move: Move) -> None:
+        if not isinstance(move, int) or not 0 <= move < self.k:
+            raise ValueError(f"illegal part index {move!r}")
+        if self.limit is not None and self._next > self.limit:
+            raise ValueError("game is over (limit reached)")
+        if not self._can_place(move, self._next):
+            raise ValueError(
+                f"placing {self._next} in part {move} violates weak sum-freeness"
+            )
+        self._parts[move].add(self._next)
+        self._next += 1
+
+    def copy(self) -> "WeakSchurState":
+        clone = WeakSchurState.__new__(WeakSchurState)
+        clone.k = self.k
+        clone.limit = self.limit
+        clone._parts = [set(p) for p in self._parts]
+        clone._next = self._next
+        return clone
+
+    def score(self) -> float:
+        """Largest integer successfully placed so far."""
+        return float(self._next - 1)
+
+    def moves_played(self) -> int:
+        return self._next - 1
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def parts(self) -> List[Set[int]]:
+        """A copy of the current partition."""
+        return [set(p) for p in self._parts]
+
+    def next_integer(self) -> int:
+        """The integer that will be placed by the next move."""
+        return self._next
+
+    def is_valid_partition(self) -> bool:
+        """Re-check the weak sum-free property of every part (test helper)."""
+        for part in self._parts:
+            for x in part:
+                for y in part:
+                    if x < y and (x + y) in part:
+                        return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WeakSchurState(k={self.k}, placed={self._next - 1})"

@@ -1,0 +1,49 @@
+"""Parallel Nested Monte-Carlo Search (Section IV of the paper).
+
+Two execution substrates are provided:
+
+* the **simulated cluster** (:func:`run_parallel_nmcs`,
+  :func:`run_round_robin`, :func:`run_last_minute`) reproduces the paper's
+  cluster-scale experiments — root / median / dispatcher / client processes,
+  Round-Robin and Last-Minute dispatching, heterogeneous nodes — with real
+  search results and simulated wall-clock time;
+* the **local executors** (:func:`multiprocessing_nmcs`, :func:`threaded_nmcs`)
+  run the root-level fan-out with genuine OS-level parallelism on the local
+  machine.
+"""
+
+from repro.parallel.config import DispatcherKind, ParallelConfig
+from repro.parallel.jobs import JobOutcome, JobExecutor, DirectJobExecutor, CachingJobExecutor
+from repro.parallel.driver import (
+    ParallelRunResult,
+    SequentialRunResult,
+    run_parallel_nmcs,
+    first_move_experiment,
+    rollout_experiment,
+    sequential_reference,
+)
+from repro.parallel.round_robin import run_round_robin
+from repro.parallel.last_minute import run_last_minute
+from repro.parallel.multiproc import MultiprocessResult, multiprocessing_nmcs
+from repro.parallel.threads import ThreadedResult, threaded_nmcs
+
+__all__ = [
+    "DispatcherKind",
+    "ParallelConfig",
+    "JobOutcome",
+    "JobExecutor",
+    "DirectJobExecutor",
+    "CachingJobExecutor",
+    "ParallelRunResult",
+    "SequentialRunResult",
+    "run_parallel_nmcs",
+    "first_move_experiment",
+    "rollout_experiment",
+    "sequential_reference",
+    "run_round_robin",
+    "run_last_minute",
+    "MultiprocessResult",
+    "multiprocessing_nmcs",
+    "ThreadedResult",
+    "threaded_nmcs",
+]

@@ -1,0 +1,96 @@
+"""Configuration of a parallel Nested Monte-Carlo Search run."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["DispatcherKind", "ParallelConfig"]
+
+
+class DispatcherKind(str, enum.Enum):
+    """Which dispatcher algorithm assigns clients to median jobs (Section IV)."""
+
+    ROUND_ROBIN = "round_robin"
+    LAST_MINUTE = "last_minute"
+
+    @classmethod
+    def parse(cls, value: "DispatcherKind | str") -> "DispatcherKind":
+        if isinstance(value, DispatcherKind):
+            return value
+        normalized = str(value).strip().lower().replace("-", "_")
+        aliases = {
+            "round_robin": cls.ROUND_ROBIN,
+            "rr": cls.ROUND_ROBIN,
+            "last_minute": cls.LAST_MINUTE,
+            "lm": cls.LAST_MINUTE,
+        }
+        if normalized not in aliases:
+            raise ValueError(f"unknown dispatcher kind {value!r}")
+        return aliases[normalized]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Parameters of one parallel NMCS run.
+
+    Attributes
+    ----------
+    level:
+        Total nesting level of the search (the root plays at this level).
+        Must be at least 2 for the three-tier root/median/client architecture.
+    dispatcher:
+        Round-Robin or Last-Minute client dispatching.
+    n_medians:
+        Number of median processes.  The paper runs 40, "greater than the
+        number of possible moves"; fewer medians serialise the root fan-out
+        (this is one of the ablations).
+    max_root_steps:
+        ``None`` plays the root's game to the end (the paper's "one rollout"
+        experiments); ``1`` stops after the first move (the "first move"
+        experiments).
+    memorize_best_sequence:
+        When True (default) the root and median games follow the globally
+        best sequence exactly like the sequential ``nested`` function, so a
+        parallel run returns the same result as the sequential search.  When
+        False they re-decide from the current step's answers only, which is
+        what the paper's root/median pseudo-code literally does.
+    master_seed / seed_label:
+        Together they form the root :class:`~repro.prng.SeedSequence`; the
+        defaults match :func:`repro.core.nested.nmcs` so that sequential and
+        parallel runs with the same ``master_seed`` are comparable.
+    lm_fifo_jobs:
+        Ablation switch: when True the Last-Minute dispatcher serves pending
+        jobs first-come-first-served instead of longest-expected-first.
+    """
+
+    level: int = 3
+    dispatcher: DispatcherKind = DispatcherKind.ROUND_ROBIN
+    n_medians: int = 40
+    max_root_steps: Optional[int] = None
+    memorize_best_sequence: bool = True
+    master_seed: int = 0
+    seed_label: str = "nmcs"
+    lm_fifo_jobs: bool = False
+
+    def __post_init__(self) -> None:
+        if self.level < 2:
+            raise ValueError(
+                "parallel NMCS needs level >= 2 (root, median and client tiers)"
+            )
+        if self.n_medians < 1:
+            raise ValueError("n_medians must be >= 1")
+        if self.max_root_steps is not None and self.max_root_steps < 1:
+            raise ValueError("max_root_steps must be >= 1 when given")
+
+    @property
+    def client_level(self) -> int:
+        """The nesting level of the searches executed by client processes."""
+        return self.level - 2
+
+    def with_dispatcher(self, dispatcher: "DispatcherKind | str") -> "ParallelConfig":
+        """A copy of this configuration with a different dispatcher."""
+        from dataclasses import replace
+
+        return replace(self, dispatcher=DispatcherKind.parse(dispatcher))

@@ -1,0 +1,250 @@
+"""Driver orchestrating a parallel NMCS run on the simulated cluster.
+
+:func:`run_parallel_nmcs` builds the simulation (nodes, root, medians,
+dispatcher, clients), runs it until the root finishes its game and returns a
+:class:`ParallelRunResult` bundling the search result, the simulated elapsed
+time and the execution trace.
+
+Convenience front-ends reproduce the paper's experiment types:
+
+* :func:`first_move_experiment` — time to choose the first move of a game
+  (Tables I, II, IV and VI);
+* :func:`rollout_experiment` — time to play an entire game (Tables I, III, V);
+* :func:`sequential_reference` — the sequential algorithm timed through the
+  same cost model (Table I and the one-client speedup baselines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.network import NetworkModel
+from repro.cluster.simulator import Kernel
+from repro.cluster.topology import ClusterSpec, homogeneous_cluster
+from repro.cluster.trace import Trace
+from repro.core.counters import WorkCounter
+from repro.core.nested import nested_search
+from repro.core.result import SearchResult
+from repro.games.base import GameState
+from repro.parallel.config import DispatcherKind, ParallelConfig
+from repro.parallel.dispatchers import last_minute_dispatcher, round_robin_dispatcher
+from repro.parallel.jobs import CachingJobExecutor, DirectJobExecutor, JobExecutor
+from repro.parallel.messages import TAG_DISPATCH, TAG_TASK
+from repro.parallel.roles import client_process, median_name, median_process, root_process
+from repro.prng import SeedSequence
+from repro.timemodel.cost import CostModel
+
+__all__ = [
+    "ParallelRunResult",
+    "SequentialRunResult",
+    "run_parallel_nmcs",
+    "first_move_experiment",
+    "rollout_experiment",
+    "sequential_reference",
+]
+
+DISPATCHER_NAME = "dispatcher"
+ROOT_NAME = "root"
+
+
+@dataclass
+class ParallelRunResult:
+    """Everything a benchmark needs to know about one simulated parallel run."""
+
+    result: SearchResult
+    simulated_seconds: float
+    trace: Trace
+    config: ParallelConfig
+    cluster: ClusterSpec
+    total_client_work: float
+    n_jobs: int
+
+    @property
+    def score(self) -> float:
+        return self.result.score
+
+    def client_utilisation(self) -> float:
+        """Fraction of total client-seconds actually spent computing."""
+        if self.simulated_seconds <= 0 or self.cluster.n_clients == 0:
+            return 0.0
+        busy = self.trace.busy_time("client")
+        return busy / (self.simulated_seconds * self.cluster.n_clients)
+
+
+@dataclass
+class SequentialRunResult:
+    """The sequential algorithm run through the same cost model."""
+
+    result: SearchResult
+    simulated_seconds: float
+    work_units: float
+    freq_ghz: float
+
+
+def run_parallel_nmcs(
+    state: GameState,
+    config: ParallelConfig,
+    cluster: ClusterSpec,
+    executor: Optional[JobExecutor] = None,
+    cost_model: Optional[CostModel] = None,
+    network: Optional[NetworkModel] = None,
+) -> ParallelRunResult:
+    """Run one parallel NMCS search on the simulated ``cluster``.
+
+    Parameters
+    ----------
+    state:
+        The initial position of the top-level game.
+    config:
+        Search parameters (level, dispatcher, medians, seeds, ...).
+    cluster:
+        Cluster topology (nodes, client placement).
+    executor:
+        Job executor used by the simulated clients; pass a shared
+        :class:`~repro.parallel.jobs.CachingJobExecutor` to amortise the real
+        search work across several topologies of the same workload.
+    cost_model / network:
+        Simulation parameters; defaults model the paper's hardware.
+    """
+    if cluster.n_clients < 1:
+        raise ValueError("the cluster must host at least one client process")
+    executor = executor if executor is not None else CachingJobExecutor()
+    kernel = Kernel(cost_model=cost_model, network=network)
+    kernel.add_nodes(cluster.nodes)
+
+    client_names = cluster.client_names()
+    median_names = [median_name(i) for i in range(config.n_medians)]
+
+    # Dispatcher and medians live on the server node, as in the paper.
+    if config.dispatcher is DispatcherKind.ROUND_ROBIN:
+        kernel.spawn(DISPATCHER_NAME, cluster.server_node, round_robin_dispatcher, client_names)
+    else:
+        kernel.spawn(
+            DISPATCHER_NAME,
+            cluster.server_node,
+            last_minute_dispatcher,
+            client_names,
+            config.lm_fifo_jobs,
+        )
+    for name in median_names:
+        kernel.spawn(name, cluster.server_node, median_process, config, DISPATCHER_NAME, ROOT_NAME)
+    for placement in cluster.clients:
+        kernel.spawn(
+            placement.client_name,
+            placement.node_name,
+            client_process,
+            config,
+            executor,
+            DISPATCHER_NAME,
+        )
+
+    shutdown_plan: List[Tuple[str, int]] = (
+        [(name, TAG_TASK) for name in median_names]
+        + [(name, TAG_TASK) for name in client_names]
+        + [(DISPATCHER_NAME, TAG_DISPATCH)]
+    )
+    kernel.spawn(
+        ROOT_NAME,
+        cluster.server_node,
+        root_process,
+        state,
+        config,
+        median_names,
+        shutdown_plan,
+    )
+
+    kernel.run(until_process=ROOT_NAME)
+    root = kernel.process(ROOT_NAME)
+    if root.exception is not None:  # pragma: no cover - defensive
+        raise root.exception
+    result: SearchResult = root.return_value
+    finish_time = root.finished_at if root.finished_at is not None else kernel.now
+
+    trace = kernel.trace
+    total_client_work = trace.total_work("client")
+    n_jobs = len(trace.computes_by_process("client"))
+    return ParallelRunResult(
+        result=result,
+        simulated_seconds=finish_time,
+        trace=trace,
+        config=config,
+        cluster=cluster,
+        total_client_work=total_client_work,
+        n_jobs=n_jobs,
+    )
+
+
+def first_move_experiment(
+    state: GameState,
+    level: int,
+    dispatcher: "DispatcherKind | str",
+    cluster: ClusterSpec,
+    master_seed: int = 0,
+    n_medians: int = 40,
+    executor: Optional[JobExecutor] = None,
+    cost_model: Optional[CostModel] = None,
+    network: Optional[NetworkModel] = None,
+    memorize_best_sequence: bool = True,
+) -> ParallelRunResult:
+    """The paper's "first move" experiment: stop after the root's first move."""
+    config = ParallelConfig(
+        level=level,
+        dispatcher=DispatcherKind.parse(dispatcher),
+        n_medians=n_medians,
+        max_root_steps=1,
+        master_seed=master_seed,
+        memorize_best_sequence=memorize_best_sequence,
+    )
+    return run_parallel_nmcs(state, config, cluster, executor, cost_model, network)
+
+
+def rollout_experiment(
+    state: GameState,
+    level: int,
+    dispatcher: "DispatcherKind | str",
+    cluster: ClusterSpec,
+    master_seed: int = 0,
+    n_medians: int = 40,
+    executor: Optional[JobExecutor] = None,
+    cost_model: Optional[CostModel] = None,
+    network: Optional[NetworkModel] = None,
+    memorize_best_sequence: bool = True,
+) -> ParallelRunResult:
+    """The paper's "one rollout" experiment: play the root's game to the end."""
+    config = ParallelConfig(
+        level=level,
+        dispatcher=DispatcherKind.parse(dispatcher),
+        n_medians=n_medians,
+        max_root_steps=None,
+        master_seed=master_seed,
+        memorize_best_sequence=memorize_best_sequence,
+    )
+    return run_parallel_nmcs(state, config, cluster, executor, cost_model, network)
+
+
+def sequential_reference(
+    state: GameState,
+    level: int,
+    master_seed: int = 0,
+    max_steps: Optional[int] = None,
+    freq_ghz: float = 1.86,
+    cost_model: Optional[CostModel] = None,
+    seed_label: str = "nmcs",
+) -> SequentialRunResult:
+    """Run the *sequential* algorithm and express its duration via the cost model.
+
+    This is the Table I baseline: the time the search would take on a single
+    core of the given frequency under the same work→time mapping used for the
+    simulated cluster, making sequential and parallel times directly
+    comparable (their ratio is the speedup).
+    """
+    cost_model = cost_model if cost_model is not None else CostModel()
+    counter = WorkCounter()
+    result = nested_search(
+        state, level, SeedSequence(master_seed, seed_label), counter=counter, max_steps=max_steps
+    )
+    seconds = cost_model.seconds_for(counter.moves, freq_ghz)
+    return SequentialRunResult(
+        result=result, simulated_seconds=seconds, work_units=float(counter.moves), freq_ghz=freq_ghz
+    )

@@ -1,0 +1,41 @@
+"""Front-end for the Last-Minute parallel algorithm (Section IV-B)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.network import NetworkModel
+from repro.cluster.topology import ClusterSpec
+from repro.games.base import GameState
+from repro.parallel.config import DispatcherKind, ParallelConfig
+from repro.parallel.driver import ParallelRunResult, run_parallel_nmcs
+from repro.parallel.jobs import JobExecutor
+from repro.timemodel.cost import CostModel
+
+__all__ = ["run_last_minute"]
+
+
+def run_last_minute(
+    state: GameState,
+    level: int,
+    cluster: ClusterSpec,
+    master_seed: int = 0,
+    n_medians: int = 40,
+    max_root_steps: Optional[int] = None,
+    executor: Optional[JobExecutor] = None,
+    cost_model: Optional[CostModel] = None,
+    network: Optional[NetworkModel] = None,
+    memorize_best_sequence: bool = True,
+    fifo_jobs: bool = False,
+) -> ParallelRunResult:
+    """Run parallel NMCS with the Last-Minute dispatcher on ``cluster``."""
+    config = ParallelConfig(
+        level=level,
+        dispatcher=DispatcherKind.LAST_MINUTE,
+        n_medians=n_medians,
+        max_root_steps=max_root_steps,
+        master_seed=master_seed,
+        memorize_best_sequence=memorize_best_sequence,
+        lm_fifo_jobs=fifo_jobs,
+    )
+    return run_parallel_nmcs(state, config, cluster, executor, cost_model, network)

@@ -1,0 +1,311 @@
+"""The root, median and client process roles (Section IV of the paper).
+
+Each role is a generator function run inside the simulated cluster (see
+:mod:`repro.cluster.process`).  The pseudo-code of the paper maps to these
+functions as follows:
+
+* the **root process** plays a game at the highest nesting level; at each
+  step it sends the position after every candidate move to a median process
+  and waits for all their answers;
+* a **median process** receives such a position and plays a game one level
+  below; at each of *its* steps it asks the dispatcher for a client for every
+  candidate move, ships the resulting positions to those clients, collects
+  the scores, plays the best move and finally reports the game's result back
+  to the root;
+* a **client process** receives positions and runs a nested rollout at the
+  predefined level (``config.client_level``), optionally notifying the
+  dispatcher that it is free again (Last-Minute algorithm) before returning
+  the score.
+
+The root and median games use the same best-sequence memorisation as the
+sequential ``nested`` function when ``config.memorize_best_sequence`` is set
+(the default), which makes the parallel search return exactly the result of
+the sequential search it parallelises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.core.nested import candidate_evaluations
+from repro.core.result import BestTracker, SearchResult
+from repro.games.base import GameState, Move
+from repro.parallel.config import DispatcherKind, ParallelConfig
+from repro.parallel.jobs import JobExecutor
+from repro.parallel.messages import (
+    TAG_CONTROL,
+    TAG_DISPATCH,
+    TAG_RESULT,
+    TAG_TASK,
+    ClientFree,
+    ClientJob,
+    ClientResult,
+    DispatchRequest,
+    DispatchReply,
+    MedianResult,
+    MedianTask,
+    Shutdown,
+    estimate_state_size,
+)
+from repro.prng import SeedSequence
+
+__all__ = [
+    "root_process",
+    "median_process",
+    "client_process",
+    "median_name",
+    "client_result_size",
+    "SMALL_MESSAGE_BYTES",
+]
+
+#: Wire size of small fixed-format messages (scores, dispatcher traffic).
+SMALL_MESSAGE_BYTES = 64.0
+
+
+def median_name(index: int) -> str:
+    """Canonical name of the ``index``-th median process."""
+    return f"median-{index:03d}"
+
+
+def client_result_size(sequence: Sequence[Move]) -> float:
+    """Wire size of a result message carrying ``sequence``."""
+    return SMALL_MESSAGE_BYTES + 16.0 * len(sequence)
+
+
+# --------------------------------------------------------------------------- #
+# Root process
+# --------------------------------------------------------------------------- #
+def root_process(
+    ctx,
+    state: GameState,
+    config: ParallelConfig,
+    median_names: List[str],
+    shutdown_plan: List[Tuple[str, int]],
+) -> Generator:
+    """The root process: plays the top-level game by delegating to medians.
+
+    ``shutdown_plan`` lists ``(process_name, tag)`` pairs to notify once the
+    game is over, using the tag that process listens on.  Returns (as the
+    generator's return value) the :class:`SearchResult` of the top-level
+    game, exactly like :func:`repro.core.nested.nested_search`.
+    """
+    seeds = SeedSequence(config.master_seed, config.seed_label)
+    position = state.copy()
+    best = BestTracker()
+    played: List[Move] = []
+    step = 0
+
+    while True:
+        evaluations = candidate_evaluations(position, config.level, step, seeds)
+        if not evaluations:
+            break
+        # -- communication (a): one candidate position per median, round-robin.
+        pending: Dict[int, Move] = {}
+        for i, move, child_seeds in evaluations:
+            target = median_names[i % len(median_names)]
+            child = position.play(move)
+            task = MedianTask(
+                root_step=step,
+                candidate_index=i,
+                move=move,
+                position=child,
+                level=config.level - 1,
+                seeds=child_seeds,
+            )
+            yield ctx.send(target, task, tag=TAG_TASK, size_bytes=estimate_state_size(child))
+            pending[i] = move
+        # Trying every candidate move costs the root one move application each.
+        yield ctx.compute(len(evaluations))
+
+        # -- communication (d): wait for every median answer of this step.
+        answers: Dict[int, MedianResult] = {}
+        while len(answers) < len(pending):
+            message = yield ctx.recv(tag=TAG_RESULT)
+            result: MedianResult = message.payload
+            if result.root_step != step:  # pragma: no cover - defensive
+                raise RuntimeError("median answered for a different root step")
+            answers[result.candidate_index] = result
+
+        # Offer the answers in candidate order so tie-breaking matches the
+        # sequential algorithm whatever order the answers arrived in.
+        for i in sorted(answers):
+            best.offer(answers[i].score, tuple(played) + tuple(answers[i].sequence))
+
+        if config.memorize_best_sequence:
+            chosen = best.moves[len(played)]
+        else:
+            best_index = max(sorted(answers), key=lambda i: answers[i].score)
+            chosen = answers[best_index].move
+        position.apply(chosen)
+        yield ctx.compute(1)
+        played.append(chosen)
+        step += 1
+        if config.max_root_steps is not None and step >= config.max_root_steps:
+            break
+
+    # Terminate every other process: the search is over.
+    for target, tag in shutdown_plan:
+        yield ctx.send(target, Shutdown(), tag=tag, size_bytes=SMALL_MESSAGE_BYTES)
+
+    if config.memorize_best_sequence and best.has_sequence():
+        score, moves = best.best()
+    elif best.has_sequence():
+        score, moves = position.score(), tuple(played)
+    else:
+        score, moves = state.score(), ()
+    return SearchResult(score=score, sequence=tuple(moves), level=config.level)
+
+
+# --------------------------------------------------------------------------- #
+# Median process
+# --------------------------------------------------------------------------- #
+def _median_play_game(
+    ctx,
+    start: GameState,
+    level: int,
+    seeds: SeedSequence,
+    config: ParallelConfig,
+    dispatcher: str,
+) -> Generator:
+    """Play one game at ``level`` by delegating candidate evaluations to clients.
+
+    This is the distributed equivalent of
+    :func:`repro.core.nested.nested_search` — same seed derivation, same
+    best-sequence memorisation — with every ``evaluate_move`` shipped to a
+    client chosen by the dispatcher.  Returns
+    ``(score, moves, client_work_units)``.
+    """
+    position = start.copy()
+    best = BestTracker()
+    played: List[Move] = []
+    step = 0
+    total_client_work = 0.0
+
+    while True:
+        evaluations = candidate_evaluations(position, level, step, seeds)
+        if not evaluations:
+            break
+        pending: Dict[Tuple, int] = {}
+        for i, move, child_seeds in evaluations:
+            # -- communication (b): ask the dispatcher for a client...
+            request = DispatchRequest(median=ctx.name, moves_played=position.moves_played())
+            yield ctx.send(dispatcher, request, tag=TAG_DISPATCH, size_bytes=SMALL_MESSAGE_BYTES)
+            reply_msg = yield ctx.recv(source=dispatcher, tag=TAG_DISPATCH)
+            reply: DispatchReply = reply_msg.payload
+            # ...then ship it the position to evaluate.
+            child = position.play(move)
+            job_id = (ctx.name, step, i)
+            job = ClientJob(
+                job_id=job_id,
+                position=child,
+                move=move,
+                level=level - 1,
+                seeds=child_seeds,
+                reply_to=ctx.name,
+            )
+            yield ctx.send(reply.client, job, tag=TAG_TASK, size_bytes=estimate_state_size(child))
+            pending[job_id] = i
+        yield ctx.compute(len(evaluations))
+
+        # -- communication (c): collect one result per shipped job.
+        answers: Dict[int, ClientResult] = {}
+        while len(answers) < len(pending):
+            message = yield ctx.recv(tag=TAG_RESULT)
+            result: ClientResult = message.payload
+            if result.job_id not in pending:  # pragma: no cover - defensive
+                raise RuntimeError(f"unexpected client result {result.job_id!r}")
+            answers[pending[result.job_id]] = result
+            total_client_work += result.work_units
+
+        for i in sorted(answers):
+            result = answers[i]
+            best.offer(result.score, tuple(played) + (result.move,) + tuple(result.sequence))
+
+        if config.memorize_best_sequence:
+            chosen = best.moves[len(played)]
+        else:
+            best_index = max(sorted(answers), key=lambda i: answers[i].score)
+            chosen = answers[best_index].move
+        position.apply(chosen)
+        yield ctx.compute(1)
+        played.append(chosen)
+        step += 1
+
+    if best.has_sequence():
+        score, moves = best.best()
+    else:
+        score, moves = start.score(), ()
+    return score, tuple(moves), total_client_work
+
+
+def median_process(ctx, config: ParallelConfig, dispatcher: str, root: str = "root") -> Generator:
+    """A median process: serve root tasks until told to shut down.
+
+    (The paper's median pseudo-code, lines 1–12.)  Tasks and the shutdown
+    message both arrive with ``TAG_TASK``; results the median is waiting for
+    arrive with ``TAG_RESULT`` — keeping the two planes on separate tags means
+    a new root task queued behind a busy median is never mistaken for a
+    client result.
+    """
+    while True:
+        message = yield ctx.recv(tag=TAG_TASK)
+        payload = message.payload
+        if isinstance(payload, Shutdown):
+            return None
+        task: MedianTask = payload
+        score, moves, client_work = yield from _median_play_game(
+            ctx, task.position, task.level, task.seeds, config, dispatcher
+        )
+        result = MedianResult(
+            root_step=task.root_step,
+            candidate_index=task.candidate_index,
+            move=task.move,
+            score=score,
+            sequence=(task.move,) + tuple(moves),
+            client_work_units=client_work,
+        )
+        yield ctx.send(root, result, tag=TAG_RESULT, size_bytes=client_result_size(result.sequence))
+
+
+# --------------------------------------------------------------------------- #
+# Client process
+# --------------------------------------------------------------------------- #
+def client_process(
+    ctx,
+    config: ParallelConfig,
+    executor: JobExecutor,
+    dispatcher: str,
+) -> Generator:
+    """A client process: run nested rollouts at the predefined level.
+
+    (The paper's client pseudo-code, lines 1–6.)
+    """
+    notify_dispatcher = config.dispatcher is DispatcherKind.LAST_MINUTE
+    while True:
+        message = yield ctx.recv(tag=TAG_TASK)
+        payload = message.payload
+        if isinstance(payload, Shutdown):
+            return None
+        job: ClientJob = payload
+        outcome = executor.execute(job.position, job.level, job.seeds)
+        # The search really ran (outcome is exact); its *duration* is simulated
+        # by the node executing this many work units at its current share.
+        yield ctx.compute(outcome.work_units)
+        if notify_dispatcher:
+            yield ctx.send(
+                dispatcher,
+                ClientFree(client=ctx.name),
+                tag=TAG_DISPATCH,
+                size_bytes=SMALL_MESSAGE_BYTES,
+            )
+        result = ClientResult(
+            job_id=job.job_id,
+            move=job.move,
+            score=outcome.score,
+            sequence=tuple(outcome.sequence),
+            work_units=outcome.work_units,
+            client=ctx.name,
+        )
+        yield ctx.send(
+            job.reply_to, result, tag=TAG_RESULT, size_bytes=client_result_size(result.sequence)
+        )

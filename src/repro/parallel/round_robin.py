@@ -1,0 +1,39 @@
+"""Front-end for the Round-Robin parallel algorithm (Section IV-A)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.network import NetworkModel
+from repro.cluster.topology import ClusterSpec
+from repro.games.base import GameState
+from repro.parallel.config import DispatcherKind, ParallelConfig
+from repro.parallel.driver import ParallelRunResult, run_parallel_nmcs
+from repro.parallel.jobs import JobExecutor
+from repro.timemodel.cost import CostModel
+
+__all__ = ["run_round_robin"]
+
+
+def run_round_robin(
+    state: GameState,
+    level: int,
+    cluster: ClusterSpec,
+    master_seed: int = 0,
+    n_medians: int = 40,
+    max_root_steps: Optional[int] = None,
+    executor: Optional[JobExecutor] = None,
+    cost_model: Optional[CostModel] = None,
+    network: Optional[NetworkModel] = None,
+    memorize_best_sequence: bool = True,
+) -> ParallelRunResult:
+    """Run parallel NMCS with the Round-Robin dispatcher on ``cluster``."""
+    config = ParallelConfig(
+        level=level,
+        dispatcher=DispatcherKind.ROUND_ROBIN,
+        n_medians=n_medians,
+        max_root_steps=max_root_steps,
+        master_seed=master_seed,
+        memorize_best_sequence=memorize_best_sequence,
+    )
+    return run_parallel_nmcs(state, config, cluster, executor, cost_model, network)

@@ -1,0 +1,5 @@
+"""Cost model mapping executed search work to simulated wall-clock time."""
+
+from repro.timemodel.cost import CostModel, calibrate_from_reference
+
+__all__ = ["CostModel", "calibrate_from_reference"]

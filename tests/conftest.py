@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.games.morpion.geometry import cross_points
+from repro.games.morpion.state import MorpionState
+from repro.games.weakschur import WeakSchurState
+
+
+@pytest.fixture
+def tiny_morpion() -> MorpionState:
+    """A very small Morpion position (line length 4, compact cross, 6-move cap)."""
+    return MorpionState(line_length=4, initial_points=cross_points(3), max_moves=6)
+
+
+@pytest.fixture
+def small_morpion() -> MorpionState:
+    """A small but uncapped Morpion position (line length 4, compact cross)."""
+    return MorpionState(line_length=4, initial_points=cross_points(3), max_moves=14)
+
+
+@pytest.fixture
+def tiny_weakschur() -> WeakSchurState:
+    """A weak-Schur instance small enough for level-2/3 searches in tests."""
+    return WeakSchurState(k=3, limit=15)

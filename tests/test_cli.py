@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["workloads"],
+            ["nmcs", "--workload", "weakschur", "--level", "1"],
+            ["table1", "--levels", "1", "2"],
+            ["table2", "--clients", "1", "4"],
+            ["table5", "--clients", "1"],
+            ["table6"],
+            ["figures2-5", "--clients", "4"],
+            ["figure1", "--sequential"],
+        ):
+            assert parser.parse_args(argv) is not None
+
+
+class TestCommands:
+    def test_workloads_lists_everything(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "morpion-bench" in out and "weakschur" in out
+
+    def test_nmcs_command(self, capsys):
+        assert main(["nmcs", "--workload", "weakschur", "--level", "1", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "score:" in out
+
+    def test_nmcs_render_on_morpion(self, capsys):
+        assert main(["nmcs", "--workload", "morpion-small", "--level", "1", "--render"]) == 0
+        out = capsys.readouterr().out
+        assert "o" in out
+
+    def test_table1_command(self, capsys):
+        assert main(["table1", "--workload", "weakschur", "--levels", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "rollout_over_first_move" in out
+
+    def test_table2_command_small(self, capsys):
+        assert main(
+            ["table2", "--workload", "weakschur", "--levels", "2", "--clients", "1", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Round-Robin" in out
+        assert "speedups" in out
+
+    def test_table6_command_small(self, capsys):
+        assert main(["table6", "--workload", "weakschur", "--levels", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "heterogeneous" in out
+
+    def test_figures_command(self, capsys):
+        assert main(["figures2-5", "--workload", "weakschur", "--levels", "2", "--clients", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "pattern check: OK" in out
+
+    def test_figure1_sequential(self, capsys):
+        assert main(["figure1", "--workload", "morpion-small", "--level", "1", "--sequential"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out

@@ -1,0 +1,92 @@
+"""Tests for the event queue and the network model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.events import Event, EventQueue
+from repro.cluster.network import NetworkModel
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, fired.append, "b")
+        queue.push(1.0, fired.append, "a")
+        queue.push(3.0, fired.append, "c")
+        while queue:
+            queue.pop().fire()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        queue = EventQueue()
+        fired = []
+        for name in "abcd":
+            queue.push(1.0, fired.append, name)
+        while queue:
+            queue.pop().fire()
+        assert fired == list("abcd")
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1.0, fired.append, "x")
+        queue.push(2.0, fired.append, "y")
+        event.cancel()
+        while queue:
+            popped = queue.pop()
+            if popped is None:
+                break
+            popped.fire()
+        assert fired == ["y"]
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 5.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(0.0, lambda: None)
+        assert len(queue) == 1 and queue
+
+    def test_fire_ignores_cancelled(self):
+        fired = []
+        event = Event(time=0.0, seq=0, callback=fired.append, args=("x",))
+        event.cancel()
+        event.fire()
+        assert fired == []
+
+
+class TestNetworkModel:
+    def test_transfer_delay(self):
+        net = NetworkModel(latency_s=1e-3, bandwidth_bytes_per_s=1000.0)
+        assert net.transfer_delay(500) == pytest.approx(1e-3 + 0.5)
+
+    def test_zero_size_is_latency_only(self):
+        net = NetworkModel(latency_s=2e-3)
+        assert net.transfer_delay(0) == pytest.approx(2e-3)
+
+    def test_instantaneous(self):
+        net = NetworkModel.instantaneous()
+        assert net.transfer_delay(10_000_000) == 0.0
+        assert net.send_overhead_s == 0.0
+
+    def test_slow_factory(self):
+        assert NetworkModel.slow(latency_ms=2.0).latency_s == pytest.approx(2e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency_s=-1.0)
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_bytes_per_s=0.0)
+        with pytest.raises(ValueError):
+            NetworkModel().transfer_delay(-5)

@@ -1,0 +1,300 @@
+"""Tests for the discrete-event kernel: processes, messaging, computing, sharing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.network import NetworkModel
+from repro.cluster.node import NodeSpec
+from repro.cluster.process import ANY_SOURCE, ProcessState
+from repro.cluster.simulator import Kernel, SimulationError
+from repro.timemodel.cost import CostModel
+
+
+def make_kernel(cores: int = 2, freq: float = 1.0, units_per_ghz: float = 1.0, **kw) -> Kernel:
+    kernel = Kernel(cost_model=CostModel(units_per_ghz_per_second=units_per_ghz), **kw)
+    kernel.add_node(NodeSpec(name="n0", freq_ghz=freq, cores=cores))
+    return kernel
+
+
+class TestProcessLifecycle:
+    def test_process_return_value_captured(self):
+        kernel = make_kernel()
+
+        def proc(ctx):
+            yield ctx.sleep(1.0)
+            return "done"
+
+        kernel.spawn("p", "n0", proc)
+        kernel.run()
+        assert kernel.process("p").return_value == "done"
+        assert kernel.process("p").state is ProcessState.FINISHED
+        assert kernel.now == pytest.approx(1.0)
+
+    def test_failing_process_raises_simulation_error(self):
+        kernel = make_kernel()
+
+        def bad(ctx):
+            yield ctx.sleep(0.0)
+            raise RuntimeError("boom")
+
+        kernel.spawn("bad", "n0", bad)
+        with pytest.raises(SimulationError):
+            kernel.run()
+        assert "bad" in kernel.failed_processes()
+
+    def test_yielding_garbage_is_an_error(self):
+        kernel = make_kernel()
+
+        def bad(ctx):
+            yield "not a syscall"
+
+        kernel.spawn("bad", "n0", bad)
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    def test_duplicate_names_rejected(self):
+        kernel = make_kernel()
+
+        def proc(ctx):
+            yield ctx.sleep(0.0)
+
+        kernel.spawn("p", "n0", proc)
+        with pytest.raises(ValueError):
+            kernel.spawn("p", "n0", proc)
+        with pytest.raises(ValueError):
+            kernel.spawn("q", "missing-node", proc)
+
+    def test_non_generator_function_rejected(self):
+        kernel = make_kernel()
+        with pytest.raises(TypeError):
+            kernel.spawn("p", "n0", lambda ctx: 42)
+
+
+class TestMessaging:
+    def test_send_recv_roundtrip(self):
+        kernel = make_kernel(network=NetworkModel(latency_s=0.5, send_overhead_s=0.0))
+        received = {}
+
+        def sender(ctx):
+            yield ctx.send("receiver", {"x": 1}, tag=7)
+
+        def receiver(ctx):
+            message = yield ctx.recv(source="sender", tag=7)
+            received["msg"] = message
+
+        kernel.spawn("receiver", "n0", receiver)
+        kernel.spawn("sender", "n0", sender)
+        kernel.run()
+        assert received["msg"].payload == {"x": 1}
+        assert received["msg"].source == "sender"
+        assert received["msg"].received_at == pytest.approx(0.5, abs=1e-4)
+
+    def test_messages_from_same_sender_arrive_in_order(self):
+        kernel = make_kernel(network=NetworkModel(latency_s=0.1, send_overhead_s=0.0))
+        order = []
+
+        def sender(ctx):
+            for i in range(5):
+                yield ctx.send("receiver", i)
+
+        def receiver(ctx):
+            for _ in range(5):
+                message = yield ctx.recv()
+                order.append(message.payload)
+
+        kernel.spawn("receiver", "n0", receiver)
+        kernel.spawn("sender", "n0", sender)
+        kernel.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_recv_filters_by_tag(self):
+        kernel = make_kernel()
+        got = []
+
+        def sender(ctx):
+            yield ctx.send("receiver", "a", tag=1)
+            yield ctx.send("receiver", "b", tag=2)
+
+        def receiver(ctx):
+            msg = yield ctx.recv(tag=2)
+            got.append(msg.payload)
+            msg = yield ctx.recv(tag=1)
+            got.append(msg.payload)
+
+        kernel.spawn("receiver", "n0", receiver)
+        kernel.spawn("sender", "n0", sender)
+        kernel.run()
+        assert got == ["b", "a"]
+
+    def test_send_to_unknown_process_is_an_error(self):
+        kernel = make_kernel()
+
+        def sender(ctx):
+            yield ctx.send("ghost", 1)
+
+        kernel.spawn("sender", "n0", sender)
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    def test_blocked_receiver_reported(self):
+        kernel = make_kernel()
+
+        def waiter(ctx):
+            yield ctx.recv(source="nobody")
+
+        kernel.spawn("waiter", "n0", waiter)
+        kernel.run()
+        assert kernel.blocked_processes() == ["waiter"]
+        assert not kernel.all_finished()
+
+    def test_trace_records_messages(self):
+        kernel = make_kernel()
+
+        def sender(ctx):
+            yield ctx.send("receiver", "hello", tag=3, size_bytes=100)
+
+        def receiver(ctx):
+            yield ctx.recv()
+
+        kernel.spawn("receiver", "n0", receiver)
+        kernel.spawn("sender", "n0", sender)
+        kernel.run()
+        assert len(kernel.trace.messages) == 1
+        record = kernel.trace.messages[0]
+        assert (record.source, record.dest, record.tag) == ("sender", "receiver", 3)
+        assert record.payload_type == "str"
+
+
+class TestCompute:
+    def test_single_compute_duration(self):
+        kernel = make_kernel(cores=1, freq=2.0, units_per_ghz=10.0)
+
+        def worker(ctx):
+            yield ctx.compute(40.0)  # 40 units at 20 units/s -> 2 s
+
+        kernel.spawn("w", "n0", worker)
+        kernel.run()
+        assert kernel.now == pytest.approx(2.0)
+        assert kernel.trace.computes[0].duration == pytest.approx(2.0)
+
+    def test_two_computations_share_one_core(self):
+        kernel = make_kernel(cores=1, freq=1.0, units_per_ghz=1.0)
+
+        def worker(ctx):
+            yield ctx.compute(1.0)
+
+        kernel.spawn("a", "n0", worker)
+        kernel.spawn("b", "n0", worker)
+        kernel.run()
+        # Two 1-second jobs sharing one core finish after 2 seconds.
+        assert kernel.now == pytest.approx(2.0)
+
+    def test_two_cores_run_two_jobs_at_full_speed(self):
+        kernel = make_kernel(cores=2, freq=1.0, units_per_ghz=1.0)
+
+        def worker(ctx):
+            yield ctx.compute(1.0)
+
+        kernel.spawn("a", "n0", worker)
+        kernel.spawn("b", "n0", worker)
+        kernel.run()
+        assert kernel.now == pytest.approx(1.0)
+
+    def test_oversubscription_slows_down_proportionally(self):
+        kernel = make_kernel(cores=2, freq=1.0, units_per_ghz=1.0)
+
+        def worker(ctx):
+            yield ctx.compute(1.0)
+
+        for name in ("a", "b", "c", "d"):
+            kernel.spawn(name, "n0", worker)
+        kernel.run()
+        # Four 1-second jobs on two cores: 2 seconds total.
+        assert kernel.now == pytest.approx(2.0)
+
+    def test_late_arrival_shares_remaining_time(self):
+        kernel = make_kernel(cores=1, freq=1.0, units_per_ghz=1.0)
+
+        def early(ctx):
+            yield ctx.compute(2.0)
+
+        def late(ctx):
+            yield ctx.sleep(1.0)
+            yield ctx.compute(1.0)
+
+        kernel.spawn("early", "n0", early)
+        kernel.spawn("late", "n0", late)
+        kernel.run()
+        # early runs alone for 1s (1 unit left), then both share the core at
+        # half speed; the total of 3 units of work on a 1 unit/s core keeps the
+        # core busy until t=3, when both computations complete.
+        assert kernel.process("early").finished_at == pytest.approx(3.0)
+        assert kernel.process("late").finished_at == pytest.approx(3.0)
+
+    def test_zero_work_completes_immediately(self):
+        kernel = make_kernel()
+
+        def worker(ctx):
+            yield ctx.compute(0.0)
+            return "ok"
+
+        kernel.spawn("w", "n0", worker)
+        kernel.run()
+        assert kernel.now == 0.0
+        assert kernel.process("w").return_value == "ok"
+
+    def test_node_utilisation(self):
+        kernel = make_kernel(cores=2, freq=1.0, units_per_ghz=1.0)
+
+        def worker(ctx):
+            yield ctx.compute(4.0)
+
+        kernel.spawn("a", "n0", worker)
+        kernel.run()
+        # One busy core out of two for the whole run.
+        assert kernel.node("n0").utilisation() == pytest.approx(0.5)
+
+
+class TestRunControls:
+    def test_until_time(self):
+        kernel = make_kernel()
+
+        def worker(ctx):
+            yield ctx.sleep(100.0)
+
+        kernel.spawn("w", "n0", worker)
+        kernel.run(until_time=5.0)
+        assert kernel.now == pytest.approx(5.0)
+
+    def test_until_process(self):
+        kernel = make_kernel()
+
+        def fast(ctx):
+            yield ctx.sleep(1.0)
+
+        def slow(ctx):
+            yield ctx.sleep(50.0)
+
+        kernel.spawn("fast", "n0", fast)
+        kernel.spawn("slow", "n0", slow)
+        kernel.run(until_process="fast")
+        assert kernel.now <= 1.0 + 1e-9
+        with pytest.raises(ValueError):
+            kernel.run(until_process="missing")
+
+    def test_max_events(self):
+        kernel = make_kernel()
+
+        def worker(ctx):
+            for _ in range(10):
+                yield ctx.sleep(1.0)
+
+        kernel.spawn("w", "n0", worker)
+        kernel.run(max_events=3)
+        assert kernel.now < 10.0
+
+    def test_duplicate_node_rejected(self):
+        kernel = make_kernel()
+        with pytest.raises(ValueError):
+            kernel.add_node(NodeSpec(name="n0"))

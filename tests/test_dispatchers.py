@@ -1,0 +1,198 @@
+"""Unit tests for the Round-Robin and Last-Minute dispatcher processes.
+
+The dispatchers are exercised inside a minimal simulated kernel with scripted
+median / client stand-ins, so their assignment policies can be observed
+directly without running a whole parallel search.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.network import NetworkModel
+from repro.cluster.node import NodeSpec
+from repro.cluster.simulator import Kernel
+from repro.parallel.dispatchers import last_minute_dispatcher, round_robin_dispatcher
+from repro.parallel.messages import (
+    TAG_DISPATCH,
+    ClientFree,
+    DispatchReply,
+    DispatchRequest,
+    Shutdown,
+)
+from repro.timemodel.cost import CostModel
+
+
+def make_kernel() -> Kernel:
+    kernel = Kernel(
+        cost_model=CostModel(units_per_ghz_per_second=1.0),
+        network=NetworkModel.instantaneous(),
+    )
+    kernel.add_node(NodeSpec(name="n0", freq_ghz=1.0, cores=8))
+    return kernel
+
+
+class TestRoundRobinDispatcher:
+    def test_cycles_through_clients(self):
+        kernel = make_kernel()
+        assignments = []
+
+        def median(ctx):
+            for _ in range(5):
+                yield ctx.send("dispatcher", DispatchRequest(median=ctx.name, moves_played=0), tag=TAG_DISPATCH)
+                reply = yield ctx.recv(source="dispatcher", tag=TAG_DISPATCH)
+                assignments.append(reply.payload.client)
+            yield ctx.send("dispatcher", Shutdown(), tag=TAG_DISPATCH)
+
+        kernel.spawn("dispatcher", "n0", round_robin_dispatcher, ["c0", "c1", "c2"])
+        kernel.spawn("median-0", "n0", median)
+        kernel.run()
+        assert assignments == ["c0", "c1", "c2", "c0", "c1"]
+        assert kernel.process("dispatcher").return_value == 5
+
+    def test_requires_clients(self):
+        kernel = make_kernel()
+        kernel.spawn("dispatcher", "n0", round_robin_dispatcher, [])
+        with pytest.raises(Exception):
+            kernel.run()
+
+    def test_ignores_stray_client_free(self):
+        kernel = make_kernel()
+        replies = []
+
+        def median(ctx):
+            yield ctx.send("dispatcher", ClientFree(client="c0"), tag=TAG_DISPATCH)
+            yield ctx.send("dispatcher", DispatchRequest(median=ctx.name, moves_played=0), tag=TAG_DISPATCH)
+            reply = yield ctx.recv(source="dispatcher", tag=TAG_DISPATCH)
+            replies.append(reply.payload.client)
+            yield ctx.send("dispatcher", Shutdown(), tag=TAG_DISPATCH)
+
+        kernel.spawn("dispatcher", "n0", round_robin_dispatcher, ["c0", "c1"])
+        kernel.spawn("median-0", "n0", median)
+        kernel.run()
+        assert replies == ["c0"]
+
+
+class TestLastMinuteDispatcher:
+    def test_serves_free_clients_first_come(self):
+        kernel = make_kernel()
+        assignments = []
+
+        def median(ctx):
+            for _ in range(3):
+                yield ctx.send("dispatcher", DispatchRequest(median=ctx.name, moves_played=0), tag=TAG_DISPATCH)
+                reply = yield ctx.recv(source="dispatcher", tag=TAG_DISPATCH)
+                assignments.append(reply.payload.client)
+            yield ctx.send("dispatcher", Shutdown(), tag=TAG_DISPATCH)
+
+        kernel.spawn("dispatcher", "n0", last_minute_dispatcher, ["c0", "c1", "c2"])
+        kernel.spawn("median-0", "n0", median)
+        kernel.run()
+        assert assignments == ["c0", "c1", "c2"]
+
+    def test_queues_jobs_and_serves_longest_expected_first(self):
+        """With no free client, the pending job with the *fewest* moves played
+        (= the longest expected computation) gets the next freed client."""
+        kernel = make_kernel()
+        log = []
+
+        def median(ctx, moves_played, delay):
+            # Wait until the consumer has taken every initially-free client,
+            # so this request has to be queued at the dispatcher.
+            yield ctx.sleep(delay)
+            yield ctx.send(
+                "dispatcher", DispatchRequest(median=ctx.name, moves_played=moves_played), tag=TAG_DISPATCH
+            )
+            reply = yield ctx.recv(source="dispatcher", tag=TAG_DISPATCH)
+            log.append((ctx.name, reply.payload.client, ctx.now))
+
+        def client(ctx):
+            # Frees itself twice, after the medians have queued their jobs.
+            yield ctx.sleep(1.0)
+            yield ctx.send("dispatcher", ClientFree(client="c0"), tag=TAG_DISPATCH)
+            yield ctx.sleep(1.0)
+            yield ctx.send("dispatcher", ClientFree(client="c1"), tag=TAG_DISPATCH)
+
+        kernel.spawn("dispatcher", "n0", last_minute_dispatcher, ["c0", "c1"])
+
+        def consumer(ctx):
+            # Take both initially-free clients so later requests must queue.
+            for _ in range(2):
+                yield ctx.send("dispatcher", DispatchRequest(median=ctx.name, moves_played=99), tag=TAG_DISPATCH)
+                yield ctx.recv(source="dispatcher", tag=TAG_DISPATCH)
+
+        kernel.spawn("median-consumer", "n0", consumer)
+        kernel.spawn("median-short", "n0", lambda ctx: median(ctx, moves_played=30, delay=0.2))
+        kernel.spawn("median-long", "n0", lambda ctx: median(ctx, moves_played=5, delay=0.3))
+        kernel.spawn("client-stub", "n0", client)
+        kernel.run()
+        # The job with 5 moves played (longest expected) is served before the one
+        # with 30 moves played, even though it was queued *after* it.
+        served_order = [name for name, _, _ in log]
+        assert served_order == ["median-long", "median-short"]
+
+    def test_fifo_ablation_serves_in_arrival_order(self):
+        kernel = make_kernel()
+        log = []
+
+        def median(ctx, moves_played, delay):
+            yield ctx.sleep(delay)
+            yield ctx.send(
+                "dispatcher", DispatchRequest(median=ctx.name, moves_played=moves_played), tag=TAG_DISPATCH
+            )
+            yield ctx.recv(source="dispatcher", tag=TAG_DISPATCH)
+            log.append(ctx.name)
+
+        def consumer(ctx):
+            yield ctx.send("dispatcher", DispatchRequest(median=ctx.name, moves_played=99), tag=TAG_DISPATCH)
+            yield ctx.recv(source="dispatcher", tag=TAG_DISPATCH)
+
+        def client(ctx):
+            yield ctx.sleep(1.0)
+            yield ctx.send("dispatcher", ClientFree(client="c0"), tag=TAG_DISPATCH)
+            yield ctx.sleep(1.0)
+            yield ctx.send("dispatcher", ClientFree(client="c0"), tag=TAG_DISPATCH)
+
+        kernel.spawn("dispatcher", "n0", last_minute_dispatcher, ["c0"], True)  # fifo_jobs=True
+        kernel.spawn("median-consumer", "n0", consumer)
+        kernel.spawn("median-a", "n0", lambda ctx: median(ctx, moves_played=30, delay=0.2))
+        kernel.spawn("median-b", "n0", lambda ctx: median(ctx, moves_played=5, delay=0.3))
+        kernel.spawn("client-stub", "n0", client)
+        kernel.run()
+        # FIFO: median-a asked first, so it is served first even though
+        # median-b's job is longer.
+        assert log == ["median-a", "median-b"]
+
+    def test_parks_freed_clients_until_a_job_arrives(self):
+        kernel = make_kernel()
+        assignments = []
+
+        def consumer(ctx):
+            # Take the only initially-free client.
+            yield ctx.send("dispatcher", DispatchRequest(median=ctx.name, moves_played=99), tag=TAG_DISPATCH)
+            yield ctx.recv(source="dispatcher", tag=TAG_DISPATCH)
+
+        def client(ctx):
+            # Announce a freed client while no job is pending.
+            yield ctx.sleep(0.5)
+            yield ctx.send("dispatcher", ClientFree(client="c9"), tag=TAG_DISPATCH)
+
+        def median(ctx):
+            yield ctx.sleep(1.0)
+            yield ctx.send("dispatcher", DispatchRequest(median=ctx.name, moves_played=0), tag=TAG_DISPATCH)
+            reply = yield ctx.recv(source="dispatcher", tag=TAG_DISPATCH)
+            assignments.append(reply.payload.client)
+
+        kernel.spawn("dispatcher", "n0", last_minute_dispatcher, ["c0"])
+        kernel.spawn("median-consumer", "n0", consumer)
+        kernel.spawn("client-stub", "n0", client)
+        kernel.spawn("median-0", "n0", median)
+        kernel.run()
+        # The parked client (c9) serves the later request.
+        assert assignments == ["c9"]
+
+    def test_requires_clients(self):
+        kernel = make_kernel()
+        kernel.spawn("dispatcher", "n0", last_minute_dispatcher, [])
+        with pytest.raises(Exception):
+            kernel.run()

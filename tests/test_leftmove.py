@@ -1,0 +1,90 @@
+"""Tests for the deterministic toy domain (repro.games.leftmove)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.games.leftmove import LeftMoveState
+
+
+class TestRules:
+    def test_initial_moves(self):
+        state = LeftMoveState(depth=3, branching=4)
+        assert state.legal_moves() == [0, 1, 2, 3]
+        assert not state.is_terminal()
+
+    def test_game_ends_after_depth_moves(self):
+        state = LeftMoveState(depth=2, branching=2)
+        state.apply(0)
+        state.apply(1)
+        assert state.is_terminal()
+        assert state.legal_moves() == []
+
+    def test_score_counts_target_moves(self):
+        state = LeftMoveState(depth=4, branching=3, target=1)
+        for move in (1, 0, 1, 2):
+            state.apply(move)
+        assert state.score() == 2.0
+
+    def test_weighted_score(self):
+        state = LeftMoveState(depth=3, branching=2, target=0, weighted=True)
+        for move in (0, 1, 0):
+            state.apply(move)
+        assert state.score() == 1.0 + 3.0
+
+    def test_apply_after_end_raises(self):
+        state = LeftMoveState(depth=1)
+        state.apply(0)
+        with pytest.raises(ValueError):
+            state.apply(0)
+
+    def test_illegal_move_raises(self):
+        state = LeftMoveState(depth=3, branching=2)
+        with pytest.raises(ValueError):
+            state.apply(5)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            LeftMoveState(depth=-1)
+        with pytest.raises(ValueError):
+            LeftMoveState(branching=0)
+        with pytest.raises(ValueError):
+            LeftMoveState(branching=2, target=5)
+
+
+class TestHelpers:
+    def test_optimal_scores(self):
+        assert LeftMoveState(depth=6).optimal_score() == 6.0
+        assert LeftMoveState(depth=3, weighted=True).optimal_score() == 6.0
+
+    def test_remaining_optimal_score(self):
+        state = LeftMoveState(depth=5)
+        state.apply(1)
+        assert state.remaining_optimal_score() == 4.0
+        weighted = LeftMoveState(depth=3, weighted=True)
+        weighted.apply(0)
+        assert weighted.remaining_optimal_score() == 2.0 + 3.0
+
+    def test_copy_is_independent(self):
+        state = LeftMoveState(depth=4)
+        clone = state.copy()
+        clone.apply(0)
+        assert state.moves_played() == 0
+        assert clone.moves_played() == 1
+
+    def test_moves_played(self):
+        state = LeftMoveState(depth=4)
+        state.apply(0)
+        state.apply(1)
+        assert state.moves_played() == 2
+
+
+@given(depth=st.integers(0, 12), branching=st.integers(1, 4), data=st.data())
+def test_property_score_never_exceeds_depth(depth, branching, data):
+    state = LeftMoveState(depth=depth, branching=branching)
+    while not state.is_terminal():
+        moves = state.legal_moves()
+        state.apply(data.draw(st.sampled_from(moves)))
+    assert 0.0 <= state.score() <= depth
+    assert state.moves_played() == depth

@@ -1,0 +1,75 @@
+"""Tests for Morpion grid geometry (repro.games.morpion.geometry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.games.morpion.geometry import (
+    DIRECTIONS,
+    bounding_box,
+    cross_points,
+    line_cells,
+    neighbours,
+    segment_starts,
+)
+
+
+class TestLines:
+    def test_line_cells_horizontal(self):
+        assert line_cells((2, 3), (1, 0), 5) == ((2, 3), (3, 3), (4, 3), (5, 3), (6, 3))
+
+    def test_line_cells_diagonal(self):
+        assert line_cells((0, 0), (1, -1), 3) == ((0, 0), (1, -1), (2, -2))
+
+    def test_segment_starts(self):
+        assert segment_starts((2, 3), (1, 0), 5) == ((2, 3), (3, 3), (4, 3), (5, 3))
+        assert len(segment_starts((0, 0), (1, 1), 4)) == 3
+
+    def test_directions_are_canonical(self):
+        assert len(DIRECTIONS) == 4
+        assert len(set(DIRECTIONS)) == 4
+        # no direction is the reverse of another
+        assert not any((-dx, -dy) in DIRECTIONS for dx, dy in DIRECTIONS)
+
+    def test_neighbours(self):
+        n = neighbours((0, 0))
+        assert len(n) == 8
+        assert (0, 0) not in n
+        assert (1, 1) in n and (-1, -1) in n
+
+
+class TestCross:
+    def test_standard_cross_has_36_points(self):
+        assert len(cross_points(5)) == 36
+
+    def test_line4_cross_has_24_points(self):
+        assert len(cross_points(4)) == 24
+
+    def test_cross_fits_its_bounding_box(self):
+        for length in (4, 5, 6):
+            s = length - 2
+            min_x, min_y, max_x, max_y = bounding_box(cross_points(length))
+            assert (min_x, min_y) == (0, 0)
+            assert (max_x, max_y) == (3 * s, 3 * s)
+
+    def test_cross_is_symmetric(self):
+        for length in (4, 5):
+            pts = cross_points(length)
+            s = length - 2
+            size = 3 * s
+            assert pts == {(size - x, y) for x, y in pts}  # horizontal mirror
+            assert pts == {(x, size - y) for x, y in pts}  # vertical mirror
+            assert pts == {(y, x) for x, y in pts}  # diagonal mirror
+
+    def test_cross_requires_reasonable_length(self):
+        with pytest.raises(ValueError):
+            cross_points(2)
+
+
+class TestBoundingBox:
+    def test_bounding_box(self):
+        assert bounding_box([(1, 2), (-3, 5), (0, 0)]) == (-3, 0, 1, 5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])

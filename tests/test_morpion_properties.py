@@ -1,0 +1,83 @@
+"""Property-based tests for Morpion Solitaire rule invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.games.morpion.geometry import cross_points
+from repro.games.morpion.state import MorpionState, MorpionVariant
+
+
+def _play_random_game(state: MorpionState, seed: int, max_plies: int) -> MorpionState:
+    rng = random.Random(seed)
+    for _ in range(max_plies):
+        moves = state.legal_moves()
+        if not moves:
+            break
+        state.apply(moves[rng.randrange(len(moves))])
+    return state
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    variant=st.sampled_from([MorpionVariant.DISJOINT, MorpionVariant.TOUCHING]),
+    plies=st.integers(0, 12),
+)
+def test_invariants_hold_along_random_games(seed, variant, plies):
+    """Occupancy, usage marks and the incremental legal-move cache stay consistent."""
+    state = MorpionState(line_length=4, variant=variant, initial_points=cross_points(3))
+    _play_random_game(state, seed, plies)
+    state.check_invariants()
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000), plies=st.integers(1, 10))
+def test_incremental_legal_moves_match_full_rescan(seed, plies):
+    state = MorpionState(line_length=4, initial_points=cross_points(3))
+    _play_random_game(state, seed, plies)
+    assert state.legal_moves() == state.recompute_legal_moves()
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_score_equals_history_length(seed):
+    state = MorpionState(line_length=4, initial_points=cross_points(3), max_moves=10)
+    _play_random_game(state, seed, 20)
+    assert state.score() == len(state.history())
+    assert len(state.occupied()) == len(state.initial_points()) + len(state.history())
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000), plies=st.integers(0, 8))
+def test_copy_then_replay_reaches_identical_position(seed, plies):
+    original = MorpionState(line_length=4, initial_points=cross_points(3))
+    played = _play_random_game(original.copy(), seed, plies)
+    replayed = original.copy()
+    for move in played.history():
+        replayed.apply(move)
+    assert replayed.occupied() == played.occupied()
+    assert replayed.legal_moves() == played.legal_moves()
+    assert replayed.used_marks() == played.used_marks()
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_touching_variant_is_a_relaxation_of_disjoint(seed):
+    """Every legal disjoint move is also legal under touching rules on the same history."""
+    disjoint = MorpionState(line_length=4, initial_points=cross_points(3))
+    touching = MorpionState(
+        line_length=4, variant=MorpionVariant.TOUCHING, initial_points=cross_points(3)
+    )
+    rng = random.Random(seed)
+    for _ in range(8):
+        moves = disjoint.legal_moves()
+        if not moves:
+            break
+        move = moves[rng.randrange(len(moves))]
+        assert move in touching.legal_moves()
+        disjoint.apply(move)
+        touching.apply(move)
+    assert set(disjoint.legal_moves()) <= set(touching.legal_moves())

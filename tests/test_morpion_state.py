@@ -1,0 +1,172 @@
+"""Tests for the Morpion Solitaire game state (repro.games.morpion.state)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.games.morpion.geometry import DIRECTIONS, cross_points
+from repro.games.morpion.records import RECORD_SCORES, best_known_score, is_new_record, reference_records
+from repro.games.morpion.render import render_grid, render_sequence, render_state
+from repro.games.morpion.state import MorpionMove, MorpionState, MorpionVariant
+
+
+class TestVariantParsing:
+    def test_aliases(self):
+        assert MorpionVariant.parse("5D") is MorpionVariant.DISJOINT
+        assert MorpionVariant.parse("5t") is MorpionVariant.TOUCHING
+        assert MorpionVariant.parse(MorpionVariant.DISJOINT) is MorpionVariant.DISJOINT
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            MorpionVariant.parse("5x")
+
+
+class TestInitialPosition:
+    def test_standard_5d_has_28_initial_moves(self):
+        # The classical Morpion Solitaire starting cross admits exactly 28 moves.
+        assert len(MorpionState().legal_moves()) == 28
+
+    def test_standard_5t_has_28_initial_moves(self):
+        assert len(MorpionState(variant="touching").legal_moves()) == 28
+
+    def test_initial_score_is_zero(self):
+        state = MorpionState()
+        assert state.score() == 0.0
+        assert state.moves_played() == 0
+        assert not state.is_terminal()
+
+    def test_initial_points_match_cross(self):
+        state = MorpionState(line_length=4)
+        assert state.initial_points() == frozenset(cross_points(4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MorpionState(line_length=2)
+        with pytest.raises(ValueError):
+            MorpionState(initial_points=[])
+        with pytest.raises(ValueError):
+            MorpionState(max_moves=-1)
+
+
+class TestMoves:
+    def test_apply_first_legal_move(self):
+        state = MorpionState()
+        move = state.legal_moves()[0]
+        state.apply(move)
+        assert state.score() == 1.0
+        assert move.point in state.occupied()
+        assert state.history() == (move,)
+
+    def test_apply_illegal_move_raises(self):
+        state = MorpionState()
+        bogus = MorpionMove((100, 100), 0, (100, 100))
+        with pytest.raises(ValueError):
+            state.apply(bogus)
+
+    def test_apply_accepts_plain_tuple(self):
+        state = MorpionState()
+        move = state.legal_moves()[0]
+        state.apply(tuple(move))
+        assert state.moves_played() == 1
+
+    def test_same_point_cannot_be_played_twice(self):
+        state = MorpionState()
+        move = state.legal_moves()[0]
+        state.apply(move)
+        assert all(m.point != move.point for m in state.legal_moves())
+
+    def test_disjoint_forbids_reusing_line_points(self):
+        state = MorpionState(variant="disjoint")
+        move = state.legal_moves()[0]
+        state.apply(move)
+        used = set(move.cells(state.line_length))
+        for m in state.legal_moves():
+            if m.direction == move.direction:
+                assert not (set(m.cells(state.line_length)) & used)
+
+    def test_touching_allows_sharing_an_endpoint(self):
+        # The touching variant must allow at least as many moves as disjoint
+        # after the same opening, and strictly more somewhere along a game.
+        d_state = MorpionState(variant="disjoint")
+        t_state = MorpionState(variant="touching")
+        rng = random.Random(3)
+        for _ in range(10):
+            moves = d_state.legal_moves()
+            move = moves[rng.randrange(len(moves))]
+            d_state.apply(move)
+            t_state.apply(move)
+        assert len(t_state.legal_moves()) >= len(d_state.legal_moves())
+
+    def test_max_moves_cap(self):
+        state = MorpionState(line_length=4, max_moves=2)
+        state.apply(state.legal_moves()[0])
+        state.apply(state.legal_moves()[0])
+        assert state.is_terminal()
+        assert state.legal_moves() == []
+        with pytest.raises(ValueError):
+            state.apply(MorpionMove((0, 0), 0, (0, 0)))
+
+    def test_copy_independent(self):
+        state = MorpionState(line_length=4)
+        clone = state.copy()
+        clone.apply(clone.legal_moves()[0])
+        assert state.moves_played() == 0
+        assert clone.moves_played() == 1
+        state.check_invariants()
+        clone.check_invariants()
+
+    def test_lines_drawn_and_history_lengths_match(self):
+        state = MorpionState(line_length=4, max_moves=5)
+        rng = random.Random(1)
+        while not state.is_terminal():
+            state.apply(rng.choice(state.legal_moves()))
+        assert len(state.lines_drawn()) == len(state.history())
+        for line in state.lines_drawn():
+            assert len(line) == 4
+
+    def test_random_game_lengths_exceed_human_intuition_floor(self):
+        # A uniformly random 5D game reliably plays at least 20 moves.
+        state = MorpionState()
+        rng = random.Random(0)
+        while not state.is_terminal():
+            state.apply(rng.choice(state.legal_moves()))
+        assert state.moves_played() >= 20
+
+
+class TestRecords:
+    def test_reference_scores(self):
+        records = reference_records()
+        assert records["human"] == 68
+        assert records["simulated_annealing"] == 79
+        assert records["parallel_nmcs_paper"] == 80
+        assert RECORD_SCORES["parallel_nmcs_paper"] == 80
+
+    def test_best_known_and_new_record(self):
+        assert best_known_score() == 80
+        assert is_new_record(81)
+        assert not is_new_record(80)
+        assert best_known_score("touching") == 0
+
+
+class TestRender:
+    def test_render_contains_initial_circles_and_move_numbers(self):
+        state = MorpionState(line_length=4, max_moves=3)
+        rng = random.Random(2)
+        while not state.is_terminal():
+            state.apply(rng.choice(state.legal_moves()))
+        text = render_state(state)
+        assert "o" in text
+        assert "1" in text and "3" in text
+
+    def test_render_empty(self):
+        assert render_grid([]) == "(empty grid)"
+
+    def test_render_sequence_validates_moves(self):
+        state = MorpionState(line_length=4)
+        move = state.legal_moves()[0]
+        text = render_sequence(state, [move])
+        assert "1" in text
+        with pytest.raises(ValueError):
+            render_sequence(state, [MorpionMove((99, 99), 0, (99, 99))])

@@ -1,0 +1,70 @@
+"""Tests for the machine-readable copy of the paper's reported numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.paperdata import (
+    PAPER_SPEEDUPS,
+    TABLE_I,
+    TABLE_II,
+    TABLE_III,
+    TABLE_IV,
+    TABLE_V,
+    TABLE_VI,
+    paper_speedup,
+)
+
+
+class TestPaperTables:
+    def test_table1_ratios_match_text(self):
+        level3 = TABLE_I[3]
+        level4 = TABLE_I[4]
+        # "level 4 takes approximately 207 times more time than level 3"
+        assert level4["first_move"].seconds / level3["first_move"].seconds == pytest.approx(
+            209, rel=0.05
+        )
+        # "One rollout takes approximately 9 times more time than the first move"
+        assert level3["rollout"].seconds / level3["first_move"].seconds == pytest.approx(
+            8.4, rel=0.05
+        )
+
+    def test_table2_speedups_match_text(self):
+        # "The speedup of the algorithm for 64 clients is 56"
+        assert paper_speedup(TABLE_II, 64, 3) == pytest.approx(54.7, rel=0.02)
+        # "The result for 32 clients ... speedup is 29.8" (paper uses 9m07s -> wait, 547/20)
+        assert paper_speedup(TABLE_II, 32, 3) == pytest.approx(27.4, rel=0.02)
+        # "Concerning level 4 the speedup is 28.50 for 32 clients"
+        assert paper_speedup(TABLE_II, 32, 4) == pytest.approx(27.8, rel=0.05)
+
+    def test_table3_rollout_speedup(self):
+        # "The speedup of the algorithm for 64 clients is 44"
+        assert paper_speedup(TABLE_III, 64, 3) == pytest.approx(46.3, rel=0.05)
+
+    def test_last_minute_beats_round_robin_at_level4(self):
+        assert TABLE_IV[64][4].seconds < TABLE_II[64][4].seconds
+        assert TABLE_V[64][4].seconds < TABLE_III[64][4].seconds
+
+    def test_table6_lm_beats_rr_everywhere(self):
+        for config in ("16x4+16x2", "8x4+8x2"):
+            for level in (3, 4):
+                assert TABLE_VI[(config, "LM")][level].seconds <= TABLE_VI[(config, "RR")][level].seconds
+
+    def test_table6_level4_advantage_is_large(self):
+        ratio = TABLE_VI[("16x4+16x2", "RR")][4].seconds / TABLE_VI[("16x4+16x2", "LM")][4].seconds
+        assert ratio > 1.5
+
+    def test_single_run_entries_marked(self):
+        assert TABLE_I[4]["rollout"].single_run
+        assert TABLE_II[16][4].single_run
+        assert not TABLE_II[64][3].single_run
+
+    def test_speedup_constants_present(self):
+        assert PAPER_SPEEDUPS["frequency_ratio_r"] == pytest.approx(1.09)
+        assert PAPER_SPEEDUPS["rr_first_move_64_clients_level3"] == 56.0
+
+    def test_monotone_in_clients(self):
+        for table in (TABLE_II, TABLE_III, TABLE_IV, TABLE_V):
+            level3 = {c: entry[3].seconds for c, entry in table.items() if 3 in entry}
+            ordered = [level3[c] for c in sorted(level3)]
+            assert ordered == sorted(ordered, reverse=True)

@@ -1,0 +1,127 @@
+"""Integration tests: the parallel search returns the sequential search's result.
+
+The parallel algorithms distribute exactly the candidate evaluations the
+sequential ``nested`` function would perform, with the same derived seeds, so
+(with best-sequence memorisation on) the score *and* the move sequence must be
+identical whatever the dispatcher, the cluster topology or the number of
+clients.  This is the strongest correctness property of the reproduction and
+the reason the benchmark tables compare like with like.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topology import heterogeneous_cluster, homogeneous_cluster, single_machine
+from repro.core.nested import nested_search
+from repro.games.weakschur import WeakSchurState
+from repro.parallel.config import DispatcherKind, ParallelConfig
+from repro.parallel.driver import run_parallel_nmcs
+from repro.parallel.jobs import CachingJobExecutor
+from repro.prng import SeedSequence
+
+
+@pytest.fixture(scope="module")
+def workload_state():
+    return WeakSchurState(k=3, limit=14)
+
+
+@pytest.fixture(scope="module")
+def sequential_result(workload_state):
+    return nested_search(workload_state, 2, SeedSequence(11, "nmcs"))
+
+
+@pytest.fixture(scope="module")
+def shared_executor():
+    return CachingJobExecutor()
+
+
+class TestEquivalenceWithSequential:
+    @pytest.mark.parametrize("dispatcher", [DispatcherKind.ROUND_ROBIN, DispatcherKind.LAST_MINUTE])
+    @pytest.mark.parametrize("n_clients", [1, 3, 8])
+    def test_parallel_matches_sequential(
+        self, workload_state, sequential_result, shared_executor, dispatcher, n_clients
+    ):
+        config = ParallelConfig(level=2, dispatcher=dispatcher, n_medians=5, master_seed=11)
+        run = run_parallel_nmcs(
+            workload_state, config, homogeneous_cluster(n_clients), executor=shared_executor
+        )
+        assert run.result.score == sequential_result.score
+        assert run.result.sequence == sequential_result.sequence
+
+    def test_parallel_matches_on_heterogeneous_cluster(
+        self, workload_state, sequential_result, shared_executor
+    ):
+        config = ParallelConfig(
+            level=2, dispatcher=DispatcherKind.LAST_MINUTE, n_medians=4, master_seed=11
+        )
+        run = run_parallel_nmcs(
+            workload_state, config, heterogeneous_cluster(2, 2), executor=shared_executor
+        )
+        assert run.result.sequence == sequential_result.sequence
+
+    def test_fewer_medians_than_moves_still_correct(
+        self, workload_state, sequential_result, shared_executor
+    ):
+        config = ParallelConfig(level=2, n_medians=1, master_seed=11)
+        run = run_parallel_nmcs(
+            workload_state, config, homogeneous_cluster(2), executor=shared_executor
+        )
+        assert run.result.sequence == sequential_result.sequence
+
+    def test_result_replays_on_the_original_position(
+        self, workload_state, shared_executor
+    ):
+        config = ParallelConfig(level=2, master_seed=11)
+        run = run_parallel_nmcs(
+            workload_state, config, homogeneous_cluster(4), executor=shared_executor
+        )
+        assert run.result.verify(workload_state)
+
+    def test_first_move_matches_sequential_first_move(self, workload_state, shared_executor):
+        sequential = nested_search(workload_state, 2, SeedSequence(11, "nmcs"), max_steps=1)
+        config = ParallelConfig(level=2, master_seed=11, max_root_steps=1)
+        run = run_parallel_nmcs(
+            workload_state, config, homogeneous_cluster(4), executor=shared_executor
+        )
+        assert run.result.score == sequential.score
+        assert run.result.sequence == sequential.sequence
+
+
+class TestSchedulerIndependence:
+    def test_rr_and_lm_return_identical_results(self, workload_state, shared_executor):
+        results = []
+        for dispatcher in (DispatcherKind.ROUND_ROBIN, DispatcherKind.LAST_MINUTE):
+            config = ParallelConfig(level=2, dispatcher=dispatcher, master_seed=23, n_medians=6)
+            run = run_parallel_nmcs(
+                workload_state, config, homogeneous_cluster(5), executor=shared_executor
+            )
+            results.append(run.result)
+        assert results[0].score == results[1].score
+        assert results[0].sequence == results[1].sequence
+
+    def test_topology_does_not_change_results(self, workload_state, shared_executor):
+        sequences = set()
+        for cluster in (single_machine(2), homogeneous_cluster(6), heterogeneous_cluster(1, 2)):
+            config = ParallelConfig(level=2, master_seed=31, n_medians=3)
+            run = run_parallel_nmcs(workload_state, config, cluster, executor=shared_executor)
+            sequences.add(run.result.sequence)
+        assert len(sequences) == 1
+
+    def test_memorisation_off_is_the_papers_literal_pseudocode(self, workload_state):
+        """Without memorisation the run still completes and replays correctly
+        (it may differ from the sequential NMCS result)."""
+        config = ParallelConfig(level=2, master_seed=11, memorize_best_sequence=False)
+        run = run_parallel_nmcs(workload_state, config, homogeneous_cluster(3))
+        final = run.result.final_state(workload_state)
+        assert final.score() == run.result.score
+
+
+class TestLevel3:
+    def test_level3_parallel_matches_sequential(self, shared_executor):
+        state = WeakSchurState(k=3, limit=8)
+        sequential = nested_search(state, 3, SeedSequence(7, "nmcs"))
+        config = ParallelConfig(level=3, master_seed=7, n_medians=3)
+        run = run_parallel_nmcs(state, config, homogeneous_cluster(4), executor=CachingJobExecutor())
+        assert run.result.score == sequential.score
+        assert run.result.sequence == sequential.sequence

@@ -1,0 +1,118 @@
+"""Tests for the SameGame domain (repro.games.samegame)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.games.samegame import SameGameState, random_board
+
+
+def columns_state(columns):
+    """Build a state directly from bottom-first columns."""
+    return SameGameState(columns)
+
+
+class TestConstruction:
+    def test_random_board_shape(self):
+        board = random_board(width=5, height=7, colors=3, seed=1)
+        assert len(board) == 5
+        assert all(len(col) == 7 for col in board)
+        assert all(1 <= v <= 3 for col in board for v in col)
+
+    def test_random_board_reproducible(self):
+        assert random_board(seed=9) == random_board(seed=9)
+        assert random_board(seed=9) != random_board(seed=10)
+
+    def test_invalid_board_dimensions(self):
+        with pytest.raises(ValueError):
+            random_board(width=0)
+        with pytest.raises(ValueError):
+            random_board(colors=0)
+
+    def test_invalid_colour_rejected(self):
+        with pytest.raises(ValueError):
+            SameGameState([[0, 1]])
+
+    def test_column_taller_than_height_rejected(self):
+        with pytest.raises(ValueError):
+            SameGameState([[1, 1, 1]], height=2)
+
+
+class TestRules:
+    def test_single_cells_are_not_moves(self):
+        state = columns_state([[1], [2], [1]])
+        assert state.legal_moves() == []
+        assert state.is_terminal()
+
+    def test_horizontal_group_detected(self):
+        state = columns_state([[1], [1], [2]])
+        moves = state.legal_moves()
+        assert moves == [(0, 0)]
+
+    def test_vertical_group_detected(self):
+        state = columns_state([[1, 1, 2]])
+        assert state.legal_moves() == [(0, 0)]
+
+    def test_apply_scores_group(self):
+        state = columns_state([[1, 1, 1], [2]])
+        state.apply((0, 0))
+        assert state.score() == (3 - 2) ** 2
+        assert state.moves_played() == 1
+        # the column of three 1s is gone, the 2 column shifts left
+        assert state.columns() == [[2]]
+
+    def test_gravity_within_column(self):
+        # column: bottom 1, 1, top 2 -> removing the 1s leaves the 2 at the bottom
+        state = columns_state([[1, 1, 2], [3, 3]])
+        state.apply((0, 0))
+        assert state.columns()[0] == [2]
+
+    def test_empty_column_compaction(self):
+        state = columns_state([[1, 1], [2], [3, 3]])
+        state.apply((0, 0))
+        assert state.columns() == [[2], [3, 3]]
+
+    def test_full_clear_bonus(self):
+        state = columns_state([[1, 1]])
+        state.apply((0, 0))
+        assert state.cleared()
+        assert state.score() == 0 + SameGameState.FULL_CLEAR_BONUS
+
+    def test_illegal_move_raises(self):
+        state = columns_state([[1], [2]])
+        with pytest.raises(ValueError):
+            state.apply((0, 0))
+
+    def test_group_spanning_columns_and_rows(self):
+        # L-shaped group of colour 1
+        state = columns_state([[1, 1], [1, 2], [3]])
+        moves = state.legal_moves()
+        assert (0, 0) in moves
+        state.apply((0, 0))
+        assert state.remaining_cells() == 2
+        assert state.score() == (3 - 2) ** 2
+
+
+class TestHelpers:
+    def test_copy_independent(self):
+        state = columns_state([[1, 1], [2, 2]])
+        clone = state.copy()
+        clone.apply((0, 0))
+        assert state.remaining_cells() == 4
+        assert clone.remaining_cells() == 2
+
+    def test_render_contains_all_cells(self):
+        state = SameGameState.random(4, 4, 3, seed=2)
+        text = state.render()
+        assert len(text.splitlines()) == 4
+
+    def test_random_playout_terminates(self):
+        state = SameGameState.random(5, 5, 3, seed=3)
+        rng = random.Random(0)
+        while not state.is_terminal():
+            state.apply(rng.choice(state.legal_moves()))
+        assert state.score() >= 0
+        # terminal means no group of size >= 2 remains
+        assert state.legal_moves() == []

@@ -1,0 +1,102 @@
+"""Tests for the Sequential Ordering Problem domain (repro.games.sop)."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.games.sop import SOPInstance, SOPState
+
+
+def small_instance():
+    """4 nodes, node 2 requires node 1, node 3 (the end) requires everyone."""
+    costs = np.array(
+        [
+            [0, 1, 5, 9],
+            [1, 0, 2, 8],
+            [5, 2, 0, 3],
+            [9, 8, 3, 0],
+        ],
+        dtype=float,
+    )
+    preds = (frozenset(), frozenset(), frozenset({1}), frozenset({0, 1, 2}))
+    return SOPInstance(costs, preds)
+
+
+class TestInstance:
+    def test_random_is_feasible_by_identity(self):
+        inst = SOPInstance.random(12, seed=3)
+        identity = list(range(12))
+        assert inst.is_feasible(identity)
+
+    def test_random_reproducible(self):
+        a = SOPInstance.random(10, seed=5)
+        b = SOPInstance.random(10, seed=5)
+        assert np.array_equal(a.costs, b.costs)
+        assert a.predecessors == b.predecessors
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            SOPInstance(np.zeros((3, 2)), (frozenset(), frozenset(), frozenset()))
+        with pytest.raises(ValueError):
+            SOPInstance(np.zeros((2, 2)), (frozenset({1}), frozenset()))
+        with pytest.raises(ValueError):
+            SOPInstance.random(1)
+
+    def test_path_cost(self):
+        inst = small_instance()
+        assert inst.path_cost([0, 1, 2, 3]) == pytest.approx(1 + 2 + 3)
+        with pytest.raises(ValueError):
+            inst.path_cost([0, 2, 1])
+        with pytest.raises(ValueError):
+            inst.path_cost([1, 0, 2, 3])
+
+    def test_is_feasible(self):
+        inst = small_instance()
+        assert inst.is_feasible([0, 1, 2, 3])
+        assert not inst.is_feasible([0, 2, 1, 3])
+
+
+class TestState:
+    def test_legal_moves_respect_precedence(self):
+        state = SOPState(small_instance())
+        assert state.legal_moves() == [1]  # node 2 needs 1, node 3 needs all
+
+    def test_full_game_is_feasible_path(self):
+        inst = SOPInstance.random(10, seed=8)
+        state = SOPState(inst)
+        rng = random.Random(0)
+        while not state.is_terminal():
+            state.apply(rng.choice(state.legal_moves()))
+        path = state.path()
+        assert path[0] == 0 and path[-1] == inst.n_nodes - 1
+        assert inst.is_feasible(path)
+        assert -state.score() == pytest.approx(inst.path_cost(path))
+
+    def test_illegal_move_raises(self):
+        state = SOPState(small_instance())
+        with pytest.raises(ValueError):
+            state.apply(2)
+
+    def test_heuristic_moves_sorted_by_cost(self):
+        inst = SOPInstance.random(8, seed=2, precedence_density=0.0)
+        state = SOPState(inst)
+        moves = state.heuristic_moves()
+        costs = [inst.costs[0, m] for m in moves]
+        assert costs == sorted(costs)
+
+    def test_copy_independent(self):
+        state = SOPState(small_instance())
+        clone = state.copy()
+        clone.apply(1)
+        assert state.path() == [0]
+        assert clone.path() == [0, 1]
+
+    def test_moves_played(self):
+        state = SOPState(small_instance())
+        state.apply(1)
+        state.apply(2)
+        assert state.moves_played() == 2
+        assert state.path_cost() == pytest.approx(3.0)

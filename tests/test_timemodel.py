@@ -1,0 +1,47 @@
+"""Tests for the work-to-time cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.timemodel.cost import CostModel, calibrate_from_reference
+
+
+class TestCostModel:
+    def test_seconds_for(self):
+        model = CostModel(units_per_ghz_per_second=100.0)
+        assert model.units_per_second(2.0) == pytest.approx(200.0)
+        assert model.seconds_for(400.0, 2.0) == pytest.approx(2.0)
+
+    def test_work_for_is_inverse(self):
+        model = CostModel(units_per_ghz_per_second=123.0)
+        seconds = 7.5
+        work = model.work_for(seconds, 1.86)
+        assert model.seconds_for(work, 1.86) == pytest.approx(seconds)
+
+    def test_faster_node_is_faster(self):
+        model = CostModel()
+        assert model.seconds_for(1000, 2.33) < model.seconds_for(1000, 1.86)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(units_per_ghz_per_second=0)
+        model = CostModel()
+        with pytest.raises(ValueError):
+            model.seconds_for(-1, 1.0)
+        with pytest.raises(ValueError):
+            model.seconds_for(1, 0.0)
+        with pytest.raises(ValueError):
+            model.work_for(-1, 1.0)
+
+
+class TestCalibration:
+    def test_calibrated_model_maps_reference_exactly(self):
+        model = calibrate_from_reference(work_units=50_000, reference_seconds=483.0, freq_ghz=1.86)
+        assert model.seconds_for(50_000, 1.86) == pytest.approx(483.0)
+
+    def test_calibration_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_from_reference(0, 100.0)
+        with pytest.raises(ValueError):
+            calibrate_from_reference(100, 0.0)

@@ -1,0 +1,97 @@
+"""Tests for the Weak Schur partitioning domain (repro.games.weakschur)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.games.weakschur import WeakSchurState
+
+
+class TestRules:
+    def test_initial_moves(self):
+        state = WeakSchurState(k=3)
+        assert state.legal_moves() == [0, 1, 2]
+        assert state.next_integer() == 1
+
+    def test_sum_constraint_blocks_part(self):
+        state = WeakSchurState(k=2)
+        state.apply(0)  # 1 -> part 0
+        state.apply(0)  # 2 -> part 0
+        # 3 = 1 + 2 cannot join part 0
+        assert state.legal_moves() == [1]
+
+    def test_same_value_twice_not_a_violation(self):
+        # Weak sum-freeness only forbids x + y = z with x != y, so {1, 2} is fine
+        # but {2, 4} with 2 + 2 = 4 is also allowed (x and y must be distinct).
+        state = WeakSchurState(k=1)
+        state.apply(0)  # 1
+        state.apply(0)  # 2
+        # 3 = 1+2 is forbidden in part 0, so the game ends with k=1
+        assert state.legal_moves() == []
+
+    def test_limit_stops_game(self):
+        state = WeakSchurState(k=3, limit=2)
+        state.apply(0)
+        state.apply(1)
+        assert state.is_terminal()
+        with pytest.raises(ValueError):
+            state.apply(0)
+
+    def test_apply_illegal_part_raises(self):
+        state = WeakSchurState(k=2)
+        with pytest.raises(ValueError):
+            state.apply(5)
+
+    def test_apply_violating_placement_raises(self):
+        state = WeakSchurState(k=2)
+        state.apply(0)  # 1
+        state.apply(0)  # 2
+        with pytest.raises(ValueError):
+            state.apply(0)  # 3 = 1 + 2
+
+    def test_score_is_largest_placed(self):
+        state = WeakSchurState(k=3)
+        for _ in range(5):
+            state.apply(state.legal_moves()[0])
+        assert state.score() == 5.0
+        assert state.moves_played() == 5
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            WeakSchurState(k=0)
+        with pytest.raises(ValueError):
+            WeakSchurState(limit=0)
+
+    def test_copy_independent(self):
+        state = WeakSchurState(k=2)
+        clone = state.copy()
+        clone.apply(0)
+        assert state.next_integer() == 1
+        assert clone.next_integer() == 2
+
+    def test_known_weak_schur_bound_k2(self):
+        # With 2 parts the largest reachable n is 8 (WS(2) = 8): a perfect play
+        # exists, and no play can ever place 9 integers.
+        best = 0
+        for seed in range(30):
+            state = WeakSchurState(k=2)
+            rng = random.Random(seed)
+            while not state.is_terminal():
+                state.apply(rng.choice(state.legal_moves()))
+            best = max(best, state.score())
+        assert best <= 8
+
+
+@settings(max_examples=30, deadline=None)
+@given(k=st.integers(1, 4), seed=st.integers(0, 1000))
+def test_property_partitions_always_valid(k, seed):
+    state = WeakSchurState(k=k, limit=25)
+    rng = random.Random(seed)
+    while not state.is_terminal():
+        state.apply(rng.choice(state.legal_moves()))
+    assert state.is_valid_partition()
+    placed = sorted(x for part in state.parts() for x in part)
+    assert placed == list(range(1, int(state.score()) + 1))
