@@ -1,7 +1,16 @@
-"""Shared helpers for the Tables II–V client-sweep benchmarks."""
+"""Shared helpers for the Tables II–V client-sweep benchmarks.
+
+The sweep runner is :func:`repro.experiments.run_client_sweep`, which drives
+every table cell through the unified :mod:`repro.api` facade (one
+``SearchSpec`` per cell on a shared ``Engine``), so the benchmarks measure the
+same code path the public API exposes.  Besides the rendered table, each sweep
+persists its machine-readable JSON payload so downstream pipelines never
+scrape tables.
+"""
 
 from __future__ import annotations
 
+import json
 from typing import Dict, Sequence
 
 from conftest import FULL_BENCH, MASTER_SEED, write_result
@@ -68,6 +77,9 @@ def run_sweep_benchmark(
         + ", ".join(f"{c}:{s:.1f}x" for c, s in sorted(paper.items()))
     )
     write_result(results_dir, result_name, "\n".join(lines))
+    (results_dir / f"{result_name}.json").write_text(
+        json.dumps(sweep.json_payload(), indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
     benchmark.extra_info["speedups"] = {
         str(level): {str(c): round(s, 2) for c, s in sweep.speedups[level].items()}
         for level in levels

@@ -19,7 +19,10 @@ from repro.workloads import get_workload
 
 def main() -> None:
     workload = get_workload("morpion-small")
-    executor = CachingJobExecutor()  # every search job is executed exactly once
+    # run_client_sweep drives every cell through repro.api (one SearchSpec per
+    # cluster size on a shared Engine); the caching executor makes the whole
+    # sweep execute each search job exactly once.
+    executor = CachingJobExecutor()
     cost_model = calibrated_cost_model(workload, master_seed=0)
 
     for dispatcher in ("rr", "lm"):

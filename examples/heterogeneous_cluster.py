@@ -11,7 +11,7 @@ Run with:  python examples/heterogeneous_cluster.py
 
 from __future__ import annotations
 
-from repro import CachingJobExecutor, heterogeneous_cluster, run_last_minute, run_round_robin
+from repro import Engine, SearchSpec
 from repro.analysis.timefmt import format_hms
 from repro.experiments import calibrated_cost_model
 from repro.workloads import get_workload
@@ -20,23 +20,23 @@ from repro.workloads import get_workload
 def main() -> None:
     workload = get_workload("morpion-small")
     level = workload.high_level
-    executor = CachingJobExecutor()
-    cost_model = calibrated_cost_model(workload, master_seed=0)
+    engine = Engine(cost_model=calibrated_cost_model(workload, master_seed=0))
 
     print(f"Workload: {workload.description}")
     print(f"Search: parallel NMCS level {level}, first move only\n")
 
-    for label, n_over, n_reg in (("16x4+16x2", 16, 16), ("8x4+8x2", 8, 8)):
-        cluster = heterogeneous_cluster(n_over, n_reg)
-        rr = run_round_robin(
-            workload.state(), level, cluster, master_seed=0, max_root_steps=1,
-            executor=executor, cost_model=cost_model,
+    for label in ("16x4+16x2", "8x4+8x2"):
+        spec = SearchSpec(
+            workload=workload.name,
+            backend="sim-cluster",
+            cluster=f"heterogeneous:{label}",
+            level=level,
+            seed=0,
+            max_steps=1,
         )
-        lm = run_last_minute(
-            workload.state(), level, cluster, master_seed=0, max_root_steps=1,
-            executor=executor, cost_model=cost_model,
-        )
-        assert rr.result.sequence == lm.result.sequence  # same search, different schedule
+        rr = engine.run(spec.replace(dispatcher="rr"))
+        lm = engine.run(spec.replace(dispatcher="lm"))
+        assert rr.sequence == lm.sequence  # same search, different schedule
         print(
             f"{label:10s}  Round-Robin {format_hms(rr.simulated_seconds):>9s}   "
             f"Last-Minute {format_hms(lm.simulated_seconds):>9s}   "

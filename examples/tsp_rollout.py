@@ -14,14 +14,12 @@ from __future__ import annotations
 import time
 
 from repro import (
-    CachingJobExecutor,
+    Engine,
+    SearchSpec,
     SeedSequence,
     TSPInstance,
     TSPState,
-    homogeneous_cluster,
-    multiprocessing_nmcs,
     nmcs,
-    run_round_robin,
     sample,
 )
 
@@ -46,17 +44,21 @@ def main() -> None:
             f"({time.perf_counter() - start:.1f}s, {result.work.playouts} rollouts)"
         )
 
-    # The same level-2 search distributed over 8 simulated clients.
-    cluster_run = run_round_robin(
-        state, 2, homogeneous_cluster(8), master_seed=0, executor=CachingJobExecutor()
+    # The same level-2 search on two other substrates: one spec per scenario,
+    # only the backend field changes (see repro.api / docs/API.md).
+    engine = Engine()
+    spec = SearchSpec(workload="tsp", algorithm="nmcs", level=2, seed=0)
+    cluster_run = engine.run(
+        spec.replace(backend="sim-cluster", dispatcher="rr", n_clients=8), state=state.copy()
     )
     print(
         f"parallel NMCS level 2 (8 simulated clients): {-cluster_run.score:8.1f} "
         f"in {cluster_run.simulated_seconds:.1f} simulated seconds"
     )
 
-    # And with real processes on the local machine (root-level fan-out).
-    local = multiprocessing_nmcs(state, 2, master_seed=0, n_workers=4)
+    local = engine.run(
+        spec.replace(backend="multiprocessing", n_workers=4), state=state.copy()
+    )
     print(
         f"parallel NMCS level 2 (4 local processes):   {-local.score:8.1f} "
         f"in {local.wall_seconds:.1f} wall-clock seconds"

@@ -2,6 +2,9 @@
 
 The library is organised as:
 
+* :mod:`repro.api` — **the front door**: declarative :class:`SearchSpec` +
+  :class:`Engine` running any registered algorithm on any registered backend
+  with one :class:`RunReport` schema;
 * :mod:`repro.games` — search domains (Morpion Solitaire, SameGame, TSP, SOP,
   Weak Schur, toy games);
 * :mod:`repro.core` — sequential search algorithms (random sampling, flat
@@ -19,12 +22,36 @@ The library is organised as:
 
 Quickstart
 ----------
->>> from repro import MorpionState, nmcs
->>> result = nmcs(MorpionState(line_length=4), level=1, seed=0)
->>> result.score > 0
+Describe a scenario with a :class:`SearchSpec` and run it through an
+:class:`Engine`; change *one field* to move the same search between the
+sequential baseline, the simulated cluster (Round-Robin or Last-Minute) and
+the local process pool (see ``docs/API.md`` for the full tour):
+
+>>> from repro import Engine, SearchSpec
+>>> from repro.experiments import calibrated_cost_model
+>>> engine = Engine(cost_model=calibrated_cost_model("morpion-small"))
+>>> spec = SearchSpec(workload="morpion-small", algorithm="nmcs", max_steps=1)
+>>> sequential = engine.run(spec)
+>>> cluster = engine.run(spec.replace(backend="sim-cluster", dispatcher="lm", n_clients=8))
+>>> sequential.score == cluster.score  # same search, different substrate
 True
+>>> cluster.simulated_seconds < sequential.simulated_seconds  # but faster
+True
+
+The pre-API entry points (``nmcs``, ``run_parallel_nmcs``,
+``first_move_experiment``, ...) remain importable; the experiment front-ends
+are deprecated shims over the unified API.
 """
 
+from repro.api import (
+    Engine,
+    RunReport,
+    SearchSpec,
+    list_algorithms,
+    list_backends,
+    register_algorithm,
+    register_backend,
+)
 from repro.prng import SeedSequence, derive_seed, spawn_rng
 from repro.games import (
     GameState,
@@ -73,10 +100,18 @@ from repro.parallel import (
 from repro.timemodel import CostModel
 from repro.workloads import Workload, get_workload, list_workloads
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # unified API
+    "Engine",
+    "SearchSpec",
+    "RunReport",
+    "register_algorithm",
+    "register_backend",
+    "list_algorithms",
+    "list_backends",
     # randomness
     "SeedSequence",
     "derive_seed",

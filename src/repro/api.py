@@ -1,0 +1,763 @@
+"""Unified declarative API: one entry point for every algorithm × game × backend.
+
+The paper's core claim is that the *same* nested search runs sequentially, on
+Round-Robin or on Last-Minute dispatching, with different time/score
+trade-offs.  This module makes that claim executable as a one-liner: describe
+a scenario with a :class:`SearchSpec` (what to search, how, and on which
+execution substrate) and hand it to an :class:`Engine`; every combination
+returns the same :class:`RunReport` schema, so scenarios differ by *one field
+of a spec*, never by which function you call.
+
+>>> from repro.api import Engine, SearchSpec
+>>> engine = Engine()
+>>> seq = engine.run(SearchSpec(workload="morpion-small", max_steps=1))
+>>> lm = engine.run(SearchSpec(workload="morpion-small", max_steps=1,
+...                            backend="sim-cluster", dispatcher="lm", n_clients=8))
+>>> seq.score == lm.score  # same search, different substrate
+True
+
+Extensibility is registry-based:
+
+* :func:`register_algorithm` adds a sequential search conforming to the
+  ``(state, level, seeds, counter, budget, params) -> SearchResult`` protocol
+  (the six bundled searches — sample, flat, nmcs, reflexive, iterated,
+  nrpa — are registered this way);
+* :func:`register_backend` adds an execution substrate conforming to the
+  ``(spec, algorithm, ctx) -> RunReport`` protocol (bundled: ``sequential``,
+  ``sim-cluster`` on the discrete-event kernel, ``multiprocessing``,
+  ``threads``).
+
+Specs and reports serialise to/from dict and JSON (:meth:`SearchSpec.to_json`,
+:meth:`SearchSpec.from_json`, :meth:`RunReport.to_json`), so sweeps can be
+stored, shipped to workers, or diffed between sessions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import time
+from dataclasses import dataclass, field, replace
+from types import MappingProxyType
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.cluster.network import NetworkModel
+from repro.cluster.topology import (
+    ClusterSpec,
+    heterogeneous_cluster,
+    homogeneous_cluster,
+    paper_cluster,
+    single_machine,
+)
+from repro.core.counters import WorkCounter
+from repro.core.flat import flat_monte_carlo
+from repro.core.iterated import iterated_search
+from repro.core.nested import nested_search
+from repro.core.nrpa import nrpa_search
+from repro.core.reflexive import reflexive_search
+from repro.core.result import SearchResult
+from repro.core.sample import sample
+from repro.games.base import GameState, Move
+from repro.parallel.config import DispatcherKind, ParallelConfig
+from repro.parallel.driver import run_parallel_nmcs
+from repro.parallel.jobs import CachingJobExecutor, JobExecutor
+from repro.parallel.multiproc import multiprocessing_nmcs
+from repro.parallel.threads import threaded_nmcs
+from repro.prng import SeedSequence
+from repro.timemodel.cost import CostModel
+from repro.workloads import Workload, get_workload
+
+__all__ = [
+    "SearchSpec",
+    "RunReport",
+    "RunContext",
+    "Engine",
+    "AlgorithmEntry",
+    "BackendEntry",
+    "register_algorithm",
+    "register_backend",
+    "list_algorithms",
+    "list_backends",
+    "build_cluster",
+    "to_jsonable",
+]
+
+
+# --------------------------------------------------------------------------- #
+# JSON support
+# --------------------------------------------------------------------------- #
+def to_jsonable(obj: Any) -> Any:
+    """Best-effort conversion of experiment payloads into JSON-serialisable data.
+
+    Handles the containers and dataclasses produced by this library; anything
+    without an obvious JSON form (game moves, search results) falls back to
+    ``repr``, which is stable for the bundled domains.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return to_jsonable(obj.value)
+    if hasattr(obj, "to_dict") and callable(obj.to_dict):
+        return to_jsonable(obj.to_dict())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, Mapping):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in obj]
+    if hasattr(obj, "item") and callable(obj.item):  # numpy scalars
+        try:
+            return to_jsonable(obj.item())
+        except (TypeError, ValueError):
+            pass
+    return repr(obj)
+
+
+# --------------------------------------------------------------------------- #
+# The declarative spec
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SearchSpec:
+    """A complete, serialisable description of one search scenario.
+
+    Attributes
+    ----------
+    workload:
+        Named workload (see :mod:`repro.workloads`).  Looked up lazily: the
+        name is only resolved when the engine actually needs a state or a
+        default level, so specs for programmatically supplied states may carry
+        any label.
+    algorithm / backend:
+        Registry names (see :func:`list_algorithms` / :func:`list_backends`).
+    level:
+        Nesting level; ``None`` uses the workload's low level.
+    seed:
+        Master random seed (same derivation as the legacy entry points, so
+        scores are comparable across backends and with the old functions).
+    max_steps:
+        Budget on root moves: ``1`` is the paper's "first move" experiment,
+        ``None`` plays the full game ("one rollout").
+    dispatcher:
+        ``"rr"`` / ``"lm"`` (any :meth:`DispatcherKind.parse` alias); used by
+        the ``sim-cluster`` backend, ignored elsewhere.
+    cluster:
+        Cluster descriptor for the simulated backend: ``"homogeneous"``,
+        ``"paper"``, ``"paper-mix"`` (homogeneous up to 32 clients, the
+        paper's mixed cluster above), ``"single"`` or
+        ``"heterogeneous:<N>x<a>+<M>x<b>"`` (Table VI style).
+    n_clients / n_medians:
+        Simulated cluster sizing.
+    n_workers:
+        Local pool size for the ``multiprocessing`` / ``threads`` backends
+        (``None`` = backend default).
+    freq_ghz / units_per_ghz:
+        Cost-model parameters mapping work units to simulated seconds.
+    memorize_best_sequence:
+        Keep the globally best sequence at root/median level (paper
+        pseudo-code ablation switch).
+    params:
+        Algorithm-specific extras (e.g. ``{"iterations": 4}`` for NRPA,
+        ``{"restarts": 8}`` for iterated NMCS, ``{"lm_fifo_jobs": true}`` for
+        the Last-Minute FIFO ablation).
+    """
+
+    workload: str = "morpion-small"
+    algorithm: str = "nmcs"
+    backend: str = "sequential"
+    level: Optional[int] = None
+    seed: int = 0
+    max_steps: Optional[int] = None
+    dispatcher: Optional[str] = None
+    cluster: str = "homogeneous"
+    n_clients: int = 8
+    n_medians: int = 40
+    n_workers: Optional[int] = None
+    freq_ghz: float = 1.86
+    units_per_ghz: Optional[float] = None
+    memorize_best_sequence: bool = True
+    params: Mapping[str, Any] = field(default_factory=dict, hash=False)
+
+    def __post_init__(self) -> None:
+        # A read-only view keeps the frozen contract honest (no mutation via
+        # spec.params) and excluding it from __hash__ keeps specs hashable.
+        object.__setattr__(self, "params", MappingProxyType(dict(self.params)))
+        if self.level is not None and self.level < 0:
+            raise ValueError("level must be >= 0 when given")
+        if self.max_steps is not None and self.max_steps < 1:
+            raise ValueError("max_steps must be >= 1 when given")
+        if self.n_clients < 1:
+            raise ValueError("n_clients must be >= 1")
+        if self.n_medians < 1:
+            raise ValueError("n_medians must be >= 1")
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1 when given")
+        if self.freq_ghz <= 0:
+            raise ValueError("freq_ghz must be positive")
+        if self.units_per_ghz is not None and self.units_per_ghz <= 0:
+            raise ValueError("units_per_ghz must be positive when given")
+        if self.dispatcher is not None:
+            DispatcherKind.parse(self.dispatcher)  # fail early on typos
+
+    def replace(self, **changes: Any) -> "SearchSpec":
+        """A copy of this spec with the given fields changed."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form; round-trips exactly via :meth:`from_dict`.
+
+        Field values are kept verbatim (no lossy coercion); :meth:`to_json`
+        therefore raises on ``params`` values that have no JSON form rather
+        than silently stringifying them.  JSON itself has no tuple type, so a
+        tuple-valued param survives the *dict* round-trip but comes back as a
+        list from the *JSON* one.
+        """
+        data = {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+        data["params"] = dict(self.params)
+        return data
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SearchSpec":
+        """Build a spec from a dict, rejecting unknown keys with a helpful message."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown SearchSpec fields: {', '.join(unknown)}; "
+                f"known fields: {', '.join(sorted(known))}"
+            )
+        return cls(**dict(data))
+
+    @classmethod
+    def from_json(cls, text: str) -> "SearchSpec":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("a SearchSpec JSON document must be an object")
+        return cls.from_dict(data)
+
+
+# --------------------------------------------------------------------------- #
+# The unified report
+# --------------------------------------------------------------------------- #
+@dataclass
+class RunReport:
+    """What every backend returns: one schema for all algorithm × backend pairs.
+
+    ``raw`` keeps the backend-native result object (``SearchResult``,
+    ``ParallelRunResult``, ``MultiprocessResult``, ...) for callers that need
+    substrate-specific detail (e.g. the execution trace); it is excluded from
+    the serialised form.
+    """
+
+    spec: SearchSpec
+    algorithm: str
+    backend: str
+    level: int
+    score: float
+    sequence: Tuple[Move, ...] = ()
+    work_units: Optional[float] = None
+    simulated_seconds: Optional[float] = None
+    wall_seconds: float = 0.0
+    n_jobs: Optional[int] = None
+    n_workers: Optional[int] = None
+    comm: Optional[Dict[str, int]] = None
+    client_utilisation: Optional[float] = None
+    raw: Any = field(default=None, repr=False, compare=False)
+
+    @property
+    def sequence_length(self) -> int:
+        return len(self.sequence)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (moves rendered with ``repr``, ``raw`` dropped)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "algorithm": self.algorithm,
+            "backend": self.backend,
+            "level": self.level,
+            "score": self.score,
+            "sequence": [repr(move) for move in self.sequence],
+            "sequence_length": self.sequence_length,
+            "work_units": self.work_units,
+            "simulated_seconds": self.simulated_seconds,
+            "wall_seconds": self.wall_seconds,
+            "n_jobs": self.n_jobs,
+            "n_workers": self.n_workers,
+            "comm": to_jsonable(self.comm),
+            "client_utilisation": self.client_utilisation,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+# --------------------------------------------------------------------------- #
+# Registries
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AlgorithmEntry:
+    """A registered sequential search algorithm.
+
+    ``fn`` follows the protocol
+    ``(state, level, seeds, counter, budget, params) -> SearchResult`` where
+    ``budget`` is the root-move cap (``None`` = play to the end) and
+    ``params`` the spec's algorithm-specific extras.  Algorithms with no
+    notion of a root-move cap register ``supports_budget=False``; the engine
+    then rejects specs with ``max_steps`` set instead of silently running
+    unbounded while the report claims otherwise.
+    """
+
+    name: str
+    fn: Callable[..., SearchResult]
+    description: str = ""
+    seed_label: str = "nmcs"
+    supports_budget: bool = True
+
+
+@dataclass(frozen=True)
+class BackendEntry:
+    """A registered execution substrate.
+
+    ``fn`` follows the protocol ``(spec, algorithm, ctx) -> RunReport``.
+    ``algorithms`` restricts which registered algorithms the substrate can
+    execute (``None`` = all); the three parallel substrates distribute the
+    nested search specifically, so they declare ``("nmcs",)``.
+    """
+
+    name: str
+    fn: Callable[..., RunReport]
+    description: str = ""
+    algorithms: Optional[Tuple[str, ...]] = None
+    needs_cluster: bool = False
+
+    def supports(self, algorithm: str) -> bool:
+        return self.algorithms is None or algorithm in self.algorithms
+
+
+ALGORITHMS: Dict[str, AlgorithmEntry] = {}
+BACKENDS: Dict[str, BackendEntry] = {}
+
+
+def register_algorithm(
+    name: str, *, description: str = "", seed_label: str = "nmcs", supports_budget: bool = True
+) -> Callable[[Callable[..., SearchResult]], Callable[..., SearchResult]]:
+    """Register the decorated function as the search algorithm named ``name``.
+
+    Raises ``ValueError`` if the name is already taken (registries are flat
+    namespaces shared by the CLI, the benchmarks and the experiment runners).
+    """
+
+    def decorator(fn: Callable[..., SearchResult]) -> Callable[..., SearchResult]:
+        if name in ALGORITHMS:
+            raise ValueError(f"algorithm {name!r} is already registered")
+        ALGORITHMS[name] = AlgorithmEntry(
+            name=name,
+            fn=fn,
+            description=description,
+            seed_label=seed_label,
+            supports_budget=supports_budget,
+        )
+        return fn
+
+    return decorator
+
+
+def register_backend(
+    name: str,
+    *,
+    description: str = "",
+    algorithms: Optional[Iterable[str]] = None,
+    needs_cluster: bool = False,
+) -> Callable[[Callable[..., RunReport]], Callable[..., RunReport]]:
+    """Register the decorated function as the execution backend named ``name``."""
+
+    def decorator(fn: Callable[..., RunReport]) -> Callable[..., RunReport]:
+        if name in BACKENDS:
+            raise ValueError(f"backend {name!r} is already registered")
+        BACKENDS[name] = BackendEntry(
+            name=name,
+            fn=fn,
+            description=description,
+            algorithms=None if algorithms is None else tuple(algorithms),
+            needs_cluster=needs_cluster,
+        )
+        return fn
+
+    return decorator
+
+
+def list_algorithms() -> Dict[str, str]:
+    """Mapping of registered algorithm name to its one-line description."""
+    return {name: entry.description for name, entry in sorted(ALGORITHMS.items())}
+
+
+def list_backends() -> Dict[str, str]:
+    """Mapping of registered backend name to its one-line description."""
+    return {name: entry.description for name, entry in sorted(BACKENDS.items())}
+
+
+def _algorithm(name: str) -> AlgorithmEntry:
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise ValueError(f"unknown algorithm {name!r}; registered algorithms: {known}") from None
+
+
+def _backend(name: str) -> BackendEntry:
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise ValueError(f"unknown backend {name!r}; registered backends: {known}") from None
+
+
+# --------------------------------------------------------------------------- #
+# Cluster descriptors
+# --------------------------------------------------------------------------- #
+def build_cluster(spec: SearchSpec) -> ClusterSpec:
+    """Build the :class:`ClusterSpec` described by ``spec.cluster`` / ``spec.n_clients``."""
+    kind, _, arg = spec.cluster.partition(":")
+    kind = kind.strip().lower()
+    if kind == "homogeneous":
+        return homogeneous_cluster(spec.n_clients)
+    if kind == "paper":
+        return paper_cluster(spec.n_clients)
+    if kind == "paper-mix":
+        # Tables II-V policy: only 1.86 GHz PCs up to 32 clients, the paper's
+        # mixed cluster beyond.
+        if spec.n_clients > 32:
+            return paper_cluster(spec.n_clients)
+        return homogeneous_cluster(spec.n_clients)
+    if kind == "single":
+        return single_machine(spec.n_clients)
+    if kind == "heterogeneous":
+        try:
+            groups = [part.split("x") for part in arg.split("+")]
+            (n_over, c_over), (n_reg, c_reg) = [(int(a), int(b)) for a, b in groups]
+        except (ValueError, TypeError):
+            raise ValueError(
+                f"bad heterogeneous cluster descriptor {spec.cluster!r}; "
+                "expected 'heterogeneous:<N>x<a>+<M>x<b>' (e.g. 'heterogeneous:16x4+16x2')"
+            ) from None
+        return heterogeneous_cluster(
+            n_over, n_reg, clients_on_oversubscribed=c_over, clients_on_regular=c_reg
+        )
+    known = "homogeneous, paper, paper-mix, single, heterogeneous:<N>x<a>+<M>x<b>"
+    raise ValueError(f"unknown cluster descriptor {spec.cluster!r}; known kinds: {known}")
+
+
+# --------------------------------------------------------------------------- #
+# The engine
+# --------------------------------------------------------------------------- #
+@dataclass
+class RunContext:
+    """Resolved per-run resources handed to a backend."""
+
+    state: GameState
+    level: int
+    executor: JobExecutor
+    cost_model: CostModel
+    network: Optional[NetworkModel] = None
+    cluster: Optional[ClusterSpec] = None
+
+
+class Engine:
+    """Executes :class:`SearchSpec` scenarios; shares caches across runs.
+
+    By default every ``sim-cluster`` run shares one :class:`CachingJobExecutor`
+    *per workload name*, so a sweep over client counts or dispatchers executes
+    each search job exactly once while runs of different workloads can never
+    alias each other's cache entries (job cache keys are seed paths, which
+    repeat across workloads).  Passing ``executor`` disables that partitioning
+    and uses the given executor for every run — only do this when all runs
+    share one workload.  Callers that pass an explicit ``state`` to
+    :meth:`run` must keep ``spec.workload`` an accurate label for it, since
+    the label selects the cache partition.
+
+    ``cost_model`` and ``network`` override the simulation defaults for all
+    runs; a spec's ``units_per_ghz`` overrides the engine cost model for that
+    run.
+    """
+
+    def __init__(
+        self,
+        executor: Optional[JobExecutor] = None,
+        cost_model: Optional[CostModel] = None,
+        network: Optional[NetworkModel] = None,
+    ) -> None:
+        self.executor = executor
+        self.cost_model = cost_model
+        self.network = network
+        self._workload_executors: Dict[str, JobExecutor] = {}
+
+    def _executor_for(self, workload_name: str) -> JobExecutor:
+        if self.executor is not None:
+            return self.executor
+        cached = self._workload_executors.get(workload_name)
+        if cached is None:
+            cached = CachingJobExecutor()
+            self._workload_executors[workload_name] = cached
+        return cached
+
+    def run(
+        self,
+        spec: "SearchSpec | Mapping[str, Any]",
+        *,
+        state: Optional[GameState] = None,
+        cluster: Optional[ClusterSpec] = None,
+    ) -> RunReport:
+        """Execute one scenario and return its :class:`RunReport`.
+
+        ``state`` / ``cluster`` override the spec's workload factory and
+        cluster descriptor for programmatic callers (the legacy entry points
+        delegate through these).
+        """
+        if isinstance(spec, Mapping):
+            spec = SearchSpec.from_dict(spec)
+        algorithm = _algorithm(spec.algorithm)
+        backend = _backend(spec.backend)
+        if not backend.supports(spec.algorithm):
+            supported = ", ".join(backend.algorithms or ())
+            raise ValueError(
+                f"backend {spec.backend!r} cannot execute algorithm {spec.algorithm!r}; "
+                f"it supports: {supported}. Use backend 'sequential' for the other algorithms."
+            )
+        if spec.max_steps is not None and not algorithm.supports_budget:
+            raise ValueError(
+                f"algorithm {spec.algorithm!r} has no root-move budget; "
+                "leave max_steps unset (it would be silently ignored otherwise)"
+            )
+        level = spec.level
+        if state is None or level is None:
+            workload = get_workload(spec.workload)
+            if state is None:
+                state = workload.state()
+            if level is None:
+                level = workload.low_level
+        if spec.units_per_ghz is not None:
+            cost_model = CostModel(units_per_ghz_per_second=spec.units_per_ghz)
+        else:
+            cost_model = self.cost_model if self.cost_model is not None else CostModel()
+        if cluster is None and backend.needs_cluster:
+            cluster = build_cluster(spec)
+        ctx = RunContext(
+            state=state,
+            level=level,
+            executor=self._executor_for(spec.workload),
+            cost_model=cost_model,
+            network=self.network,
+            cluster=cluster,
+        )
+        return backend.fn(spec, algorithm, ctx)
+
+    def run_many(
+        self, specs: Iterable["SearchSpec | Mapping[str, Any]"]
+    ) -> List[RunReport]:
+        """Execute a batch of scenarios (shared caches) and return their reports."""
+        return [self.run(spec) for spec in specs]
+
+
+# --------------------------------------------------------------------------- #
+# Built-in algorithms
+# --------------------------------------------------------------------------- #
+@register_algorithm(
+    "sample",
+    description="one uniformly random playout (level ignored)",
+    supports_budget=False,
+)
+def _alg_sample(state, level, seeds, counter, budget, params) -> SearchResult:
+    return sample(state, seeds=seeds, counter=counter)
+
+
+@register_algorithm("flat", description="flat Monte-Carlo move selection", seed_label="flat")
+def _alg_flat(state, level, seeds, counter, budget, params) -> SearchResult:
+    return flat_monte_carlo(
+        state,
+        playouts_per_move=int(params.get("playouts_per_move", 1)),
+        seeds=seeds,
+        aggregation=params.get("aggregation", "max"),
+        counter=counter,
+        max_steps=budget,
+    )
+
+
+@register_algorithm("nmcs", description="Nested Monte-Carlo Search (the paper's algorithm)")
+def _alg_nmcs(state, level, seeds, counter, budget, params) -> SearchResult:
+    return nested_search(state, level, seeds, counter=counter, max_steps=budget)
+
+
+@register_algorithm(
+    "reflexive",
+    description="reflexive Monte-Carlo search (no best-sequence memorisation)",
+    seed_label="reflexive",
+)
+def _alg_reflexive(state, level, seeds, counter, budget, params) -> SearchResult:
+    return reflexive_search(state, level, seeds, counter=counter, max_steps=budget)
+
+
+@register_algorithm(
+    "iterated",
+    description="multi-restart NMCS, keeps the best sequence",
+    supports_budget=False,
+)
+def _alg_iterated(state, level, seeds, counter, budget, params) -> SearchResult:
+    return iterated_search(
+        state,
+        level,
+        seeds,
+        restarts=int(params.get("restarts", 2)),
+        work_budget=params.get("work_budget"),
+        counter=counter,
+    )
+
+
+@register_algorithm(
+    "nrpa",
+    description="Nested Rollout Policy Adaptation (Rosin 2011)",
+    seed_label="nrpa",
+    supports_budget=False,
+)
+def _alg_nrpa(state, level, seeds, counter, budget, params) -> SearchResult:
+    return nrpa_search(
+        state,
+        level,
+        seeds,
+        iterations=int(params.get("iterations", 3)),
+        alpha=float(params.get("alpha", 1.0)),
+        counter=counter,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Built-in backends
+# --------------------------------------------------------------------------- #
+@register_backend(
+    "sequential",
+    description="single simulated core; runs every registered algorithm",
+)
+def _backend_sequential(spec: SearchSpec, algorithm: AlgorithmEntry, ctx: RunContext) -> RunReport:
+    counter = WorkCounter()
+    seeds = SeedSequence(spec.seed, algorithm.seed_label)
+    start = time.perf_counter()
+    result = algorithm.fn(ctx.state, ctx.level, seeds, counter, spec.max_steps, spec.params)
+    wall = time.perf_counter() - start
+    work = float(counter.moves)
+    return RunReport(
+        spec=spec,
+        algorithm=algorithm.name,
+        backend=spec.backend,
+        level=ctx.level,
+        score=result.score,
+        sequence=tuple(result.sequence),
+        work_units=work,
+        simulated_seconds=ctx.cost_model.seconds_for(work, spec.freq_ghz),
+        wall_seconds=wall,
+        raw=result,
+    )
+
+
+@register_backend(
+    "sim-cluster",
+    description="paper's root/median/dispatcher/client architecture on the discrete-event kernel",
+    algorithms=("nmcs",),
+    needs_cluster=True,
+)
+def _backend_sim_cluster(spec: SearchSpec, algorithm: AlgorithmEntry, ctx: RunContext) -> RunReport:
+    from repro.analysis.commpattern import analyze_communications
+
+    config = ParallelConfig(
+        level=ctx.level,
+        dispatcher=DispatcherKind.parse(spec.dispatcher or "rr"),
+        n_medians=spec.n_medians,
+        max_root_steps=spec.max_steps,
+        master_seed=spec.seed,
+        memorize_best_sequence=spec.memorize_best_sequence,
+        lm_fifo_jobs=bool(spec.params.get("lm_fifo_jobs", False)),
+    )
+    start = time.perf_counter()
+    run = run_parallel_nmcs(
+        ctx.state, config, ctx.cluster, ctx.executor, ctx.cost_model, ctx.network
+    )
+    wall = time.perf_counter() - start
+    summary = analyze_communications(run.trace)
+    return RunReport(
+        spec=spec,
+        algorithm=algorithm.name,
+        backend=spec.backend,
+        level=ctx.level,
+        score=run.score,
+        sequence=tuple(run.result.sequence),
+        work_units=run.total_client_work,
+        simulated_seconds=run.simulated_seconds,
+        wall_seconds=wall,
+        n_jobs=run.n_jobs,
+        n_workers=ctx.cluster.n_clients,
+        comm=dict(summary.counts),
+        client_utilisation=run.client_utilisation(),
+        raw=run,
+    )
+
+
+@register_backend(
+    "multiprocessing",
+    description="real root-level fan-out on a local process pool (GIL-free)",
+    algorithms=("nmcs",),
+)
+def _backend_multiprocessing(
+    spec: SearchSpec, algorithm: AlgorithmEntry, ctx: RunContext
+) -> RunReport:
+    if ctx.level < 1:
+        raise ValueError("the multiprocessing backend needs level >= 1")
+    run = multiprocessing_nmcs(
+        ctx.state,
+        ctx.level,
+        master_seed=spec.seed,
+        n_workers=spec.n_workers,
+        max_steps=spec.max_steps,
+        start_method=spec.params.get("start_method"),
+    )
+    return RunReport(
+        spec=spec,
+        algorithm=algorithm.name,
+        backend=spec.backend,
+        level=ctx.level,
+        score=run.score,
+        sequence=tuple(run.result.sequence),
+        wall_seconds=run.wall_seconds,
+        n_jobs=run.n_evaluations,
+        n_workers=run.n_workers,
+        raw=run,
+    )
+
+
+@register_backend(
+    "threads",
+    description="root-level fan-out on a thread pool (the GIL ablation)",
+    algorithms=("nmcs",),
+)
+def _backend_threads(spec: SearchSpec, algorithm: AlgorithmEntry, ctx: RunContext) -> RunReport:
+    if ctx.level < 1:
+        raise ValueError("the threads backend needs level >= 1")
+    run = threaded_nmcs(
+        ctx.state,
+        ctx.level,
+        master_seed=spec.seed,
+        n_workers=spec.n_workers if spec.n_workers is not None else 4,
+        max_steps=spec.max_steps,
+    )
+    return RunReport(
+        spec=spec,
+        algorithm=algorithm.name,
+        backend=spec.backend,
+        level=ctx.level,
+        score=run.score,
+        sequence=tuple(run.result.sequence),
+        wall_seconds=run.wall_seconds,
+        n_jobs=run.n_evaluations,
+        n_workers=run.n_workers,
+        raw=run,
+    )

@@ -1,14 +1,22 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
 The CLI exposes the experiment runners of :mod:`repro.experiments` so that
-every table and figure of the paper can be regenerated from a shell, plus a
-few utilities (sequential searches, workload listing, the record hunt).
+every table and figure of the paper can be regenerated from a shell, plus the
+unified scenario runner (``repro run``) built on :mod:`repro.api` and a few
+utilities (sequential searches, workload listing, the record hunt).
 
 Examples
 --------
-List the available workloads::
+List the available workloads, algorithms and backends::
 
     python -m repro workloads
+
+Run any algorithm × backend combination from one declarative spec::
+
+    python -m repro run --workload morpion-small --backend sim-cluster \
+        --dispatcher lm --clients 8 --first-move --json
+
+    python -m repro run --spec my_scenario.json
 
 Regenerate Table II (Round-Robin, first move) at the default scale::
 
@@ -17,16 +25,21 @@ Regenerate Table II (Round-Robin, first move) at the default scale::
 Run a sequential NMCS on the scaled Morpion board::
 
     python -m repro nmcs --workload morpion-bench --level 2 --seed 3
+
+Every table/figure command accepts ``--json`` to emit the raw measurement
+payload instead of the rendered table, so pipelines never scrape tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.timefmt import format_hms
-from repro.core.nested import nmcs
+from repro.api import Engine, SearchSpec, list_algorithms, list_backends, to_jsonable
 from repro.experiments import (
     DEFAULT_CLIENT_COUNTS,
     run_client_sweep,
@@ -52,12 +65,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_json(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--json", action="store_true", help="emit the raw payload as JSON")
+
     def add_common(p: argparse.ArgumentParser, default_workload: str = "morpion-bench") -> None:
         p.add_argument("--workload", default=default_workload, help="named workload (see 'workloads')")
         p.add_argument("--seed", type=int, default=0, help="master random seed")
         p.add_argument("--levels", type=int, nargs="*", default=None, help="nesting levels to run")
+        add_json(p)
 
-    p = sub.add_parser("workloads", help="list the named workloads")
+    p = sub.add_parser("workloads", help="list the named workloads, algorithms and backends")
+    add_json(p)
+
+    # Scenario flags use SUPPRESS defaults so that "explicitly passed" can be
+    # told apart from "omitted": with --spec, only passed flags override the
+    # document; without it, omitted flags fall back to SearchSpec's defaults.
+    p = sub.add_parser("run", help="run one algorithm × workload × backend scenario (repro.api)")
+    omit = argparse.SUPPRESS
+    p.add_argument("--spec", default=None, help="path to a SearchSpec JSON file, or an inline JSON object")
+    p.add_argument("--workload", default=omit, help="named workload (see 'workloads')")
+    p.add_argument("--algorithm", default=omit, help="registered algorithm (see 'workloads')")
+    p.add_argument("--backend", default=omit, help="registered backend (see 'workloads')")
+    p.add_argument("--level", type=int, default=omit, help="nesting level (default: workload low level)")
+    p.add_argument("--seed", type=int, default=omit, help="master random seed")
+    p.add_argument("--steps", type=int, default=omit, help="max root moves (omit to play the full game)")
+    p.add_argument("--first-move", action="store_true", default=omit, help="shorthand for --steps 1")
+    p.add_argument("--dispatcher", default=omit, help="rr or lm (sim-cluster backend)")
+    p.add_argument("--cluster", default=omit, help="cluster descriptor (sim-cluster backend)")
+    p.add_argument("--clients", type=int, default=omit, help="simulated clients (sim-cluster backend)")
+    p.add_argument("--medians", type=int, default=omit, help="median processes (sim-cluster backend)")
+    p.add_argument("--workers", type=int, default=omit, help="pool size (multiprocessing/threads backends)")
+    p.add_argument(
+        "--param",
+        action="append",
+        default=omit,
+        metavar="KEY=VALUE",
+        help="algorithm-specific parameter (repeatable); values are parsed as JSON when possible",
+    )
+    add_json(p)
 
     p = sub.add_parser("nmcs", help="run a sequential Nested Monte-Carlo Search")
     add_common(p)
@@ -101,21 +146,135 @@ def _print(text: str) -> None:
     sys.stdout.write(text + "\n")
 
 
+def _print_error(text: str) -> None:
+    """Diagnostics go to stderr so ``--json`` pipelines never parse them."""
+    sys.stderr.write(text + "\n")
+
+
+def _print_json(payload: Any) -> None:
+    _print(json.dumps(to_jsonable(payload), indent=2, sort_keys=True))
+
+
+def _parse_params(pairs: Sequence[str]) -> Dict[str, Any]:
+    """Parse repeated ``--param key=value`` flags (values as JSON when possible)."""
+    params: Dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"bad --param {pair!r}; expected KEY=VALUE")
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value
+    return params
+
+
+#: run-flag name -> SearchSpec field name (flags that map one-to-one).
+_RUN_FLAG_FIELDS = {
+    "workload": "workload",
+    "algorithm": "algorithm",
+    "backend": "backend",
+    "level": "level",
+    "seed": "seed",
+    "dispatcher": "dispatcher",
+    "cluster": "cluster",
+    "clients": "n_clients",
+    "medians": "n_medians",
+    "workers": "n_workers",
+}
+
+
+def _spec_from_args(args: argparse.Namespace) -> SearchSpec:
+    """Build the :class:`SearchSpec` of a ``repro run`` invocation.
+
+    Scenario flags use ``argparse.SUPPRESS`` defaults, so exactly the flags
+    the user typed are present on ``args``.  With ``--spec``, those flags
+    override the corresponding fields of the loaded document (e.g.
+    ``repro run --spec scenario.json --seed 5`` sweeps seeds over a saved
+    scenario); without it they fill a fresh spec.
+    """
+    passed = vars(args)
+    overrides: Dict[str, Any] = {
+        field: passed[flag] for flag, field in _RUN_FLAG_FIELDS.items() if flag in passed
+    }
+    if passed.get("first_move"):
+        overrides["max_steps"] = 1
+    elif "steps" in passed:
+        overrides["max_steps"] = passed["steps"]
+    if args.spec is not None:
+        text = args.spec
+        if not text.lstrip().startswith("{"):
+            text = Path(args.spec).read_text(encoding="utf-8")
+        spec = SearchSpec.from_json(text)
+        if "param" in passed:
+            overrides["params"] = {**spec.params, **_parse_params(passed["param"])}
+        return spec.replace(**overrides) if overrides else spec
+    if "param" in passed:
+        overrides["params"] = _parse_params(passed["param"])
+    return SearchSpec(**overrides)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro`` (returns a process exit code)."""
     parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.command == "workloads":
+        if args.json:
+            _print_json(
+                {
+                    "workloads": list_workloads(),
+                    "algorithms": list_algorithms(),
+                    "backends": list_backends(),
+                }
+            )
+            return 0
         for name, description in list_workloads().items():
             _print(f"{name:16s} {description}")
+        _print("")
+        for kind, listing in (("algorithm", list_algorithms()), ("backend", list_backends())):
+            for name, description in listing.items():
+                _print(f"{kind + ' ' + name:28s} {description}")
+        return 0
+
+    if args.command == "run":
+        try:
+            spec = _spec_from_args(args)
+            report = Engine().run(spec)
+        except (ValueError, KeyError, OSError) as exc:
+            # KeyError's str() wraps the message in quotes; unwrap it.
+            message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+            _print_error(f"error: {message}")
+            return 2
+        if args.json:
+            _print(report.to_json(indent=2))
+            return 0
+        _print(
+            f"workload={spec.workload} algorithm={report.algorithm} "
+            f"backend={report.backend} level={report.level} seed={spec.seed}"
+        )
+        _print(f"score: {report.score}")
+        _print(f"moves: {report.sequence_length}")
+        if report.work_units is not None:
+            _print(f"work:  {report.work_units:.0f} move applications")
+        if report.simulated_seconds is not None:
+            _print(f"simulated time: {format_hms(report.simulated_seconds)}")
+        _print(f"wall time: {report.wall_seconds:.2f}s")
+        if report.n_jobs is not None:
+            _print(f"jobs: {report.n_jobs}")
         return 0
 
     if args.command == "nmcs":
         workload = get_workload(args.workload)
         level = args.level if args.level is not None else workload.low_level
         state = workload.state()
-        result = nmcs(state, level, seed=args.seed)
+        report = Engine().run(
+            SearchSpec(workload=workload.name, level=level, seed=args.seed), state=state
+        )
+        result = report.raw
+        if args.json:
+            _print_json(report.to_dict())
+            return 0
         _print(f"workload={workload.name} level={level} seed={args.seed}")
         _print(f"score: {result.score}")
         _print(f"moves: {len(result.sequence)}")
@@ -126,6 +285,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "table1":
         experiment = run_table1_sequential(args.workload, levels=args.levels, master_seed=args.seed)
+        if args.json:
+            _print_json(experiment.json_payload())
+            return 0
         _print(experiment.render())
         ratios = experiment.data["ratios"]
         for name, value in ratios.items():
@@ -143,6 +305,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             master_seed=args.seed,
             executor=executor,
         )
+        if args.json:
+            _print_json(sweep.json_payload())
+            return 0
         _print(sweep.render())
         for level, table in sweep.speedups.items():
             if table:
@@ -152,12 +317,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "table6":
         experiment = run_table6_heterogeneous(args.workload, levels=args.levels, master_seed=args.seed)
+        if args.json:
+            _print_json(experiment.json_payload())
+            return 0
         _print(experiment.render())
         for name, value in experiment.data["advantages"].items():
             _print(f"{name}: RR/LM = {value:.2f}")
         return 0
 
     if args.command == "figures2-5":
+        payloads = []
         for dispatcher in (DispatcherKind.ROUND_ROBIN, DispatcherKind.LAST_MINUTE):
             experiment = run_figure_communications(
                 dispatcher,
@@ -166,10 +335,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 n_clients=args.clients,
                 master_seed=args.seed,
             )
+            if args.json:
+                payloads.append({"dispatcher": dispatcher.value, **experiment.json_payload()})
+                continue
             _print(experiment.render())
             violations = experiment.data["violations"]
             _print("pattern check: " + ("OK" if not violations else "; ".join(violations)))
             _print("")
+        if args.json:
+            _print_json(payloads)
         return 0
 
     if args.command == "figure1":
@@ -180,6 +354,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             master_seed=args.seed,
             use_parallel=not args.sequential,
         )
+        if args.json:
+            _print_json(experiment.json_payload())
+            return 0
         _print(experiment.render())
         _print(experiment.data["grid"])
         return 0

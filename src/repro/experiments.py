@@ -11,35 +11,30 @@ Scaling note (also in DESIGN.md): the default workload is a scaled Morpion
 Solitaire whose levels 2/3 stand in for the paper's levels 3/4.  Durations are
 simulated through the work→time cost model; speedups and orderings are the
 quantities compared against the paper.
+
+Every runner executes its searches through the unified :mod:`repro.api`
+facade: each table cell is one :class:`~repro.api.SearchSpec` handed to a
+shared :class:`~repro.api.Engine`, so the experiments exercise exactly the
+code path users of the public API get.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.speedup import speedup, speedup_table
 from repro.analysis.stats import Summary, summarize
 from repro.analysis.tables import Table
 from repro.analysis.timefmt import format_hms
 from repro.analysis.commpattern import CommunicationSummary, analyze_communications, verify_pattern
+from repro.api import Engine, RunReport, SearchSpec, to_jsonable
 from repro.cluster.network import NetworkModel
-from repro.cluster.topology import (
-    ClusterSpec,
-    heterogeneous_cluster,
-    homogeneous_cluster,
-    paper_cluster,
-)
+from repro.cluster.topology import ClusterSpec
 from repro.games.base import GameState
 from repro.games.morpion.render import render_state
 from repro.games.morpion.state import MorpionState
 from repro.parallel.config import DispatcherKind
-from repro.parallel.driver import (
-    ParallelRunResult,
-    first_move_experiment,
-    rollout_experiment,
-    sequential_reference,
-)
 from repro.parallel.jobs import CachingJobExecutor, JobExecutor
 from repro.timemodel.cost import CostModel
 from repro.workloads import Workload, get_workload
@@ -84,7 +79,10 @@ def calibrated_cost_model(
 
     wl = get_workload(workload) if isinstance(workload, str) else workload
     level = level if level is not None else wl.low_level
-    reference = sequential_reference(wl.state(), level, master_seed=master_seed, max_steps=1)
+    reference = Engine().run(
+        SearchSpec(workload=wl.name, level=level, seed=master_seed, max_steps=1),
+        state=wl.state(),
+    )
     return calibrate_from_reference(reference.work_units, reference_seconds, freq_ghz)
 
 
@@ -98,6 +96,10 @@ class ExperimentResult:
     def render(self) -> str:
         return self.table.render()
 
+    def json_payload(self) -> Dict[str, Any]:
+        """The raw measurements as JSON-serialisable data (for ``--json`` output)."""
+        return {"title": self.table.title, "data": to_jsonable(self.data)}
+
 
 @dataclass
 class SweepResult(ExperimentResult):
@@ -105,6 +107,12 @@ class SweepResult(ExperimentResult):
 
     times: Dict[int, Dict[int, float]] = field(default_factory=dict)  # level -> clients -> s
     speedups: Dict[int, Dict[int, float]] = field(default_factory=dict)
+
+    def json_payload(self) -> Dict[str, Any]:
+        payload = super().json_payload()
+        payload["times"] = to_jsonable(self.times)
+        payload["speedups"] = to_jsonable(self.speedups)
+        return payload
 
 
 # --------------------------------------------------------------------------- #
@@ -127,7 +135,8 @@ def run_table1_sequential(
     wl = get_workload(workload) if isinstance(workload, str) else workload
     levels = list(levels) if levels is not None else [wl.low_level, wl.high_level]
     rollout_levels = list(rollout_levels) if rollout_levels is not None else list(levels)
-    cost_model = cost_model or CostModel()
+    engine = Engine(cost_model=cost_model or CostModel())
+    base = SearchSpec(workload=wl.name, seed=master_seed, freq_ghz=freq_ghz)
     table = Table(
         title="Table I — times for the sequential algorithm",
         columns=["first move", "one rollout"],
@@ -135,21 +144,17 @@ def run_table1_sequential(
     )
     data: Dict[int, Dict[str, float]] = {}
     for level in levels:
-        first = sequential_reference(
-            wl.state(), level, master_seed=master_seed, max_steps=1, freq_ghz=freq_ghz, cost_model=cost_model
-        )
+        first = engine.run(base.replace(level=level, max_steps=1), state=wl.state())
         cells = {"first move": format_hms(first.simulated_seconds)}
         data[level] = {
             "first_move": first.simulated_seconds,
             "first_move_work": first.work_units,
         }
         if level in rollout_levels:
-            roll = sequential_reference(
-                wl.state(), level, master_seed=master_seed, max_steps=None, freq_ghz=freq_ghz, cost_model=cost_model
-            )
+            roll = engine.run(base.replace(level=level, max_steps=None), state=wl.state())
             data[level]["rollout"] = roll.simulated_seconds
             data[level]["rollout_work"] = roll.work_units
-            data[level]["rollout_score"] = roll.result.score
+            data[level]["rollout_score"] = roll.score
             cells["one rollout"] = format_hms(roll.simulated_seconds)
         table.add_row(str(level), **cells)
     ratios = {}
@@ -168,13 +173,6 @@ def run_table1_sequential(
 # --------------------------------------------------------------------------- #
 # Tables II–V — client-count sweeps
 # --------------------------------------------------------------------------- #
-def _cluster_for(clients: int, use_paper_mix: bool) -> ClusterSpec:
-    """Homogeneous 1.86 GHz PCs up to 32 clients; the paper's mixed cluster at 64."""
-    if use_paper_mix and clients > 32:
-        return paper_cluster(clients)
-    return homogeneous_cluster(clients)
-
-
 def run_client_sweep(
     dispatcher: "DispatcherKind | str",
     experiment: str = "first_move",
@@ -195,13 +193,28 @@ def run_client_sweep(
     (Tables III / V).  Passing a shared :class:`CachingJobExecutor` makes the
     whole sweep execute each search job exactly once.
     """
+    if experiment not in ("first_move", "rollout"):
+        raise ValueError(
+            f"unknown experiment {experiment!r}; valid values: 'first_move' (Tables II/IV), "
+            "'rollout' (Tables III/V)"
+        )
     dispatcher = DispatcherKind.parse(dispatcher)
     wl = get_workload(workload) if isinstance(workload, str) else workload
     levels = list(levels) if levels is not None else [wl.low_level, wl.high_level]
-    executor = executor if executor is not None else CachingJobExecutor()
-    runner = first_move_experiment if experiment == "first_move" else rollout_experiment
-    if experiment not in ("first_move", "rollout"):
-        raise ValueError("experiment must be 'first_move' or 'rollout'")
+    engine = Engine(
+        executor=executor if executor is not None else CachingJobExecutor(),
+        cost_model=cost_model,
+        network=network,
+    )
+    base = SearchSpec(
+        workload=wl.name,
+        backend="sim-cluster",
+        dispatcher=dispatcher.value,
+        cluster="paper-mix" if use_paper_mix else "homogeneous",
+        n_medians=n_medians,
+        seed=master_seed,
+        max_steps=1 if experiment == "first_move" else None,
+    )
 
     name = "Round-Robin" if dispatcher is DispatcherKind.ROUND_ROBIN else "Last-Minute"
     what = "First move" if experiment == "first_move" else "Rollout"
@@ -215,17 +228,8 @@ def run_client_sweep(
     for clients in sorted(client_counts, reverse=True):
         cells = {}
         for level in levels:
-            cluster = _cluster_for(clients, use_paper_mix)
-            run = runner(
-                wl.state(),
-                level,
-                dispatcher,
-                cluster,
-                master_seed=master_seed,
-                n_medians=n_medians,
-                executor=executor,
-                cost_model=cost_model,
-                network=network,
+            run = engine.run(
+                base.replace(level=level, n_clients=clients), state=wl.state()
             )
             times[level][clients] = run.simulated_seconds
             scores[level] = run.score
@@ -263,7 +267,11 @@ def run_table6_heterogeneous(
     """
     wl = get_workload(workload) if isinstance(workload, str) else workload
     levels = list(levels) if levels is not None else [wl.low_level, wl.high_level]
-    executor = executor if executor is not None else CachingJobExecutor()
+    engine = Engine(
+        executor=executor if executor is not None else CachingJobExecutor(),
+        cost_model=cost_model,
+        network=network,
+    )
     table = Table(
         title="Table VI — first move times on an heterogeneous cluster",
         columns=["alg"] + [f"level {lvl}" for lvl in levels],
@@ -271,21 +279,20 @@ def run_table6_heterogeneous(
     )
     data: Dict[Tuple[str, str], Dict[int, float]] = {}
     for label, n_over, n_reg in configurations:
-        cluster = heterogeneous_cluster(n_over, n_reg)
+        base = SearchSpec(
+            workload=wl.name,
+            backend="sim-cluster",
+            cluster=f"heterogeneous:{n_over}x4+{n_reg}x2",
+            n_medians=n_medians,
+            seed=master_seed,
+            max_steps=1,
+        )
         for alg, kind in (("LM", DispatcherKind.LAST_MINUTE), ("RR", DispatcherKind.ROUND_ROBIN)):
             cells = {"alg": alg}
             entry: Dict[int, float] = {}
             for level in levels:
-                run = first_move_experiment(
-                    wl.state(),
-                    level,
-                    kind,
-                    cluster,
-                    master_seed=master_seed,
-                    n_medians=n_medians,
-                    executor=executor,
-                    cost_model=cost_model,
-                    network=network,
+                run = engine.run(
+                    base.replace(level=level, dispatcher=kind.value), state=wl.state()
                 )
                 entry[level] = run.simulated_seconds
                 cells[f"level {level}"] = format_hms(run.simulated_seconds)
@@ -316,14 +323,21 @@ def run_figure_communications(
     dispatcher = DispatcherKind.parse(dispatcher)
     wl = get_workload(workload) if isinstance(workload, str) else workload
     level = level if level is not None else wl.low_level
-    run = first_move_experiment(
-        wl.state(),
-        level,
-        dispatcher,
-        homogeneous_cluster(n_clients),
-        master_seed=master_seed,
-        executor=executor,
+    engine = Engine(executor=executor)
+    report = engine.run(
+        SearchSpec(
+            workload=wl.name,
+            backend="sim-cluster",
+            dispatcher=dispatcher.value,
+            cluster="homogeneous",
+            n_clients=n_clients,
+            level=level,
+            seed=master_seed,
+            max_steps=1,
+        ),
+        state=wl.state(),
     )
+    run = report.raw
     summary = analyze_communications(run.trace)
     problems = verify_pattern(summary, dispatcher)
     name = "Round-Robin (figures 2-3)" if dispatcher is DispatcherKind.ROUND_ROBIN else "Last-Minute (figures 4-5)"
@@ -364,21 +378,22 @@ def run_figure1_record(
     state = wl.state()
     if not isinstance(state, MorpionState):
         raise ValueError("figure 1 requires a Morpion workload")
+    engine = Engine(executor=executor)
     if use_parallel and level >= 2:
-        run = rollout_experiment(
-            state,
-            level,
-            DispatcherKind.parse(dispatcher),
-            homogeneous_cluster(n_clients),
-            master_seed=master_seed,
-            executor=executor,
+        spec = SearchSpec(
+            workload=wl.name,
+            backend="sim-cluster",
+            dispatcher=DispatcherKind.parse(dispatcher).value,
+            cluster="homogeneous",
+            n_clients=n_clients,
+            level=level,
+            seed=master_seed,
         )
-        result = run.result
-        seconds = run.simulated_seconds
     else:
-        ref = sequential_reference(state, max(level, 1), master_seed=master_seed)
-        result = ref.result
-        seconds = ref.simulated_seconds
+        spec = SearchSpec(workload=wl.name, level=max(level, 1), seed=master_seed)
+    report = engine.run(spec, state=state)
+    result = report.raw.result if report.backend == "sim-cluster" else report.raw
+    seconds = report.simulated_seconds
     final = result.final_state(state)
     grid = render_state(final)
     table = Table(

@@ -10,6 +10,12 @@ Two execution substrates are provided:
 * the **local executors** (:func:`multiprocessing_nmcs`, :func:`threaded_nmcs`)
   run the root-level fan-out with genuine OS-level parallelism on the local
   machine.
+
+Both substrates are exposed as backends of the unified :mod:`repro.api`
+facade (``sim-cluster``, ``multiprocessing``, ``threads``); the experiment
+front-ends here (:func:`first_move_experiment`, :func:`rollout_experiment`,
+:func:`run_round_robin`, :func:`run_last_minute`) are deprecated shims over
+that API.
 """
 
 from repro.parallel.config import DispatcherKind, ParallelConfig

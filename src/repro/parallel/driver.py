@@ -3,19 +3,19 @@
 :func:`run_parallel_nmcs` builds the simulation (nodes, root, medians,
 dispatcher, clients), runs it until the root finishes its game and returns a
 :class:`ParallelRunResult` bundling the search result, the simulated elapsed
-time and the execution trace.
+time and the execution trace.  It is the kernel underneath the ``sim-cluster``
+backend of :mod:`repro.api`.
 
-Convenience front-ends reproduce the paper's experiment types:
-
-* :func:`first_move_experiment` — time to choose the first move of a game
-  (Tables I, II, IV and VI);
-* :func:`rollout_experiment` — time to play an entire game (Tables I, III, V);
-* :func:`sequential_reference` — the sequential algorithm timed through the
-  same cost model (Table I and the one-client speedup baselines).
+The convenience front-ends reproducing the paper's experiment types —
+:func:`first_move_experiment`, :func:`rollout_experiment` and
+:func:`sequential_reference` — are kept as deprecated shims over the unified
+API; new code should describe the scenario with a
+:class:`repro.api.SearchSpec` and run it through :class:`repro.api.Engine`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -175,6 +175,42 @@ def run_parallel_nmcs(
     )
 
 
+def _cluster_experiment_shim(
+    what: str,
+    max_steps: Optional[int],
+    state: GameState,
+    level: int,
+    dispatcher: "DispatcherKind | str",
+    cluster: ClusterSpec,
+    master_seed: int,
+    n_medians: int,
+    executor: Optional[JobExecutor],
+    cost_model: Optional[CostModel],
+    network: Optional[NetworkModel],
+    memorize_best_sequence: bool,
+) -> ParallelRunResult:
+    """Delegate a legacy experiment front-end through the unified API."""
+    from repro.api import Engine, SearchSpec
+
+    warnings.warn(
+        f"{what} is deprecated; use repro.api.Engine().run(SearchSpec(backend='sim-cluster', ...))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    spec = SearchSpec(
+        backend="sim-cluster",
+        level=level,
+        seed=master_seed,
+        max_steps=max_steps,
+        dispatcher=DispatcherKind.parse(dispatcher).value,
+        n_clients=cluster.n_clients,
+        n_medians=n_medians,
+        memorize_best_sequence=memorize_best_sequence,
+    )
+    engine = Engine(executor=executor, cost_model=cost_model, network=network)
+    return engine.run(spec, state=state, cluster=cluster).raw
+
+
 def first_move_experiment(
     state: GameState,
     level: int,
@@ -187,16 +223,16 @@ def first_move_experiment(
     network: Optional[NetworkModel] = None,
     memorize_best_sequence: bool = True,
 ) -> ParallelRunResult:
-    """The paper's "first move" experiment: stop after the root's first move."""
-    config = ParallelConfig(
-        level=level,
-        dispatcher=DispatcherKind.parse(dispatcher),
-        n_medians=n_medians,
-        max_root_steps=1,
-        master_seed=master_seed,
-        memorize_best_sequence=memorize_best_sequence,
+    """The paper's "first move" experiment: stop after the root's first move.
+
+    .. deprecated:: 1.1
+        Shim over :class:`repro.api.Engine`; run a
+        :class:`~repro.api.SearchSpec` with ``max_steps=1`` instead.
+    """
+    return _cluster_experiment_shim(
+        "first_move_experiment", 1, state, level, dispatcher, cluster,
+        master_seed, n_medians, executor, cost_model, network, memorize_best_sequence,
     )
-    return run_parallel_nmcs(state, config, cluster, executor, cost_model, network)
 
 
 def rollout_experiment(
@@ -211,16 +247,16 @@ def rollout_experiment(
     network: Optional[NetworkModel] = None,
     memorize_best_sequence: bool = True,
 ) -> ParallelRunResult:
-    """The paper's "one rollout" experiment: play the root's game to the end."""
-    config = ParallelConfig(
-        level=level,
-        dispatcher=DispatcherKind.parse(dispatcher),
-        n_medians=n_medians,
-        max_root_steps=None,
-        master_seed=master_seed,
-        memorize_best_sequence=memorize_best_sequence,
+    """The paper's "one rollout" experiment: play the root's game to the end.
+
+    .. deprecated:: 1.1
+        Shim over :class:`repro.api.Engine`; run a
+        :class:`~repro.api.SearchSpec` with ``max_steps=None`` instead.
+    """
+    return _cluster_experiment_shim(
+        "rollout_experiment", None, state, level, dispatcher, cluster,
+        master_seed, n_medians, executor, cost_model, network, memorize_best_sequence,
     )
-    return run_parallel_nmcs(state, config, cluster, executor, cost_model, network)
 
 
 def sequential_reference(
@@ -238,13 +274,40 @@ def sequential_reference(
     core of the given frequency under the same work→time mapping used for the
     simulated cluster, making sequential and parallel times directly
     comparable (their ratio is the speedup).
+
+    .. deprecated:: 1.1
+        Shim over :class:`repro.api.Engine`; run a
+        :class:`~repro.api.SearchSpec` with ``backend="sequential"`` instead.
     """
-    cost_model = cost_model if cost_model is not None else CostModel()
-    counter = WorkCounter()
-    result = nested_search(
-        state, level, SeedSequence(master_seed, seed_label), counter=counter, max_steps=max_steps
+    from repro.api import Engine, SearchSpec
+
+    warnings.warn(
+        "sequential_reference is deprecated; use repro.api.Engine().run(SearchSpec(...))",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    seconds = cost_model.seconds_for(counter.moves, freq_ghz)
+    if seed_label != "nmcs":
+        # The unified API fixes the label per algorithm; honour custom labels
+        # through the kernel directly.
+        cost_model = cost_model if cost_model is not None else CostModel()
+        counter = WorkCounter()
+        result = nested_search(
+            state, level, SeedSequence(master_seed, seed_label), counter=counter, max_steps=max_steps
+        )
+        seconds = cost_model.seconds_for(counter.moves, freq_ghz)
+        return SequentialRunResult(
+            result=result,
+            simulated_seconds=seconds,
+            work_units=float(counter.moves),
+            freq_ghz=freq_ghz,
+        )
+    report = Engine(cost_model=cost_model).run(
+        SearchSpec(level=level, seed=master_seed, max_steps=max_steps, freq_ghz=freq_ghz),
+        state=state,
+    )
     return SequentialRunResult(
-        result=result, simulated_seconds=seconds, work_units=float(counter.moves), freq_ghz=freq_ghz
+        result=report.raw,
+        simulated_seconds=report.simulated_seconds,
+        work_units=report.work_units,
+        freq_ghz=freq_ghz,
     )

@@ -1,7 +1,14 @@
-"""Front-end for the Last-Minute parallel algorithm (Section IV-B)."""
+"""Front-end for the Last-Minute parallel algorithm (Section IV-B).
+
+.. deprecated:: 1.1
+    :func:`run_last_minute` is a shim over the unified API; new code should
+    run ``SearchSpec(backend="sim-cluster", dispatcher="lm", ...)`` through
+    :class:`repro.api.Engine`.
+"""
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from repro.cluster.network import NetworkModel
@@ -28,14 +35,28 @@ def run_last_minute(
     memorize_best_sequence: bool = True,
     fifo_jobs: bool = False,
 ) -> ParallelRunResult:
-    """Run parallel NMCS with the Last-Minute dispatcher on ``cluster``."""
-    config = ParallelConfig(
-        level=level,
-        dispatcher=DispatcherKind.LAST_MINUTE,
-        n_medians=n_medians,
-        max_root_steps=max_root_steps,
-        master_seed=master_seed,
-        memorize_best_sequence=memorize_best_sequence,
-        lm_fifo_jobs=fifo_jobs,
+    """Run parallel NMCS with the Last-Minute dispatcher on ``cluster``.
+
+    .. deprecated:: 1.1  Shim over :class:`repro.api.Engine` (see module docstring).
+    """
+    from repro.api import Engine, SearchSpec
+
+    warnings.warn(
+        "run_last_minute is deprecated; use repro.api.Engine().run("
+        "SearchSpec(backend='sim-cluster', dispatcher='lm', ...))",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return run_parallel_nmcs(state, config, cluster, executor, cost_model, network)
+    spec = SearchSpec(
+        backend="sim-cluster",
+        dispatcher=DispatcherKind.LAST_MINUTE.value,
+        level=level,
+        seed=master_seed,
+        max_steps=max_root_steps,
+        n_clients=cluster.n_clients,
+        n_medians=n_medians,
+        memorize_best_sequence=memorize_best_sequence,
+        params={"lm_fifo_jobs": fifo_jobs},
+    )
+    engine = Engine(executor=executor, cost_model=cost_model, network=network)
+    return engine.run(spec, state=state, cluster=cluster).raw

@@ -1,7 +1,14 @@
-"""Front-end for the Round-Robin parallel algorithm (Section IV-A)."""
+"""Front-end for the Round-Robin parallel algorithm (Section IV-A).
+
+.. deprecated:: 1.1
+    :func:`run_round_robin` is a shim over the unified API; new code should
+    run ``SearchSpec(backend="sim-cluster", dispatcher="rr", ...)`` through
+    :class:`repro.api.Engine`.
+"""
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from repro.cluster.network import NetworkModel
@@ -27,13 +34,27 @@ def run_round_robin(
     network: Optional[NetworkModel] = None,
     memorize_best_sequence: bool = True,
 ) -> ParallelRunResult:
-    """Run parallel NMCS with the Round-Robin dispatcher on ``cluster``."""
-    config = ParallelConfig(
+    """Run parallel NMCS with the Round-Robin dispatcher on ``cluster``.
+
+    .. deprecated:: 1.1  Shim over :class:`repro.api.Engine` (see module docstring).
+    """
+    from repro.api import Engine, SearchSpec
+
+    warnings.warn(
+        "run_round_robin is deprecated; use repro.api.Engine().run("
+        "SearchSpec(backend='sim-cluster', dispatcher='rr', ...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    spec = SearchSpec(
+        backend="sim-cluster",
+        dispatcher=DispatcherKind.ROUND_ROBIN.value,
         level=level,
-        dispatcher=DispatcherKind.ROUND_ROBIN,
+        seed=master_seed,
+        max_steps=max_root_steps,
+        n_clients=cluster.n_clients,
         n_medians=n_medians,
-        max_root_steps=max_root_steps,
-        master_seed=master_seed,
         memorize_best_sequence=memorize_best_sequence,
     )
-    return run_parallel_nmcs(state, config, cluster, executor, cost_model, network)
+    engine = Engine(executor=executor, cost_model=cost_model, network=network)
+    return engine.run(spec, state=state, cluster=cluster).raw

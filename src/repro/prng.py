@@ -42,9 +42,17 @@ def _mix_label(h: "hashlib._Hash", label: Label) -> None:
         h.update(b"b")
         h.update(b"\x01" if label else b"\x00")
     elif isinstance(label, int):
-        h.update(b"i")
-        # Two's-complement 128-bit encoding keeps negative labels unambiguous.
-        h.update(label.to_bytes(16, "little", signed=True))
+        if -(1 << 127) <= label < (1 << 127):
+            h.update(b"i")
+            # Two's-complement 128-bit encoding keeps negative labels unambiguous.
+            h.update(label.to_bytes(16, "little", signed=True))
+        else:
+            # Arbitrary-width integers: length-prefixed two's complement under a
+            # distinct tag, so seeds for the common 128-bit range are unchanged.
+            nbytes = label.bit_length() // 8 + 1
+            h.update(b"I")
+            h.update(struct.pack("<Q", nbytes))
+            h.update(label.to_bytes(nbytes, "little", signed=True))
     elif isinstance(label, str):
         data = label.encode("utf-8")
         h.update(b"s")

@@ -21,9 +21,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from repro.games.base import GameState
+from repro.games.leftmove import LeftMoveState
 from repro.games.morpion.geometry import cross_points
 from repro.games.morpion.state import MorpionState, MorpionVariant
 from repro.games.samegame import SameGameState
+from repro.games.sop import SOPInstance, SOPState
 from repro.games.tsp import TSPInstance, TSPState
 from repro.games.weakschur import WeakSchurState
 
@@ -138,6 +140,20 @@ WORKLOADS: Dict[str, Workload] = {
         make_state=lambda: TSPState(TSPInstance.random(24, seed=11), neighbourhood=8),
         low_level=1,
         high_level=2,
+    ),
+    "sop": Workload(
+        name="sop",
+        description="Sequential Ordering Problem, 16 nodes with random precedences",
+        make_state=lambda: SOPState(SOPInstance.random(16, precedence_density=0.15, seed=7)),
+        low_level=1,
+        high_level=2,
+    ),
+    "leftmove": Workload(
+        name="leftmove",
+        description="Deterministic weighted LeftMove toy game (known optimum, for demos and tests)",
+        make_state=lambda: LeftMoveState(depth=10, branching=3, weighted=True),
+        low_level=2,
+        high_level=3,
     ),
 }
 

@@ -1,0 +1,355 @@
+"""Tests for the unified SearchSpec / Engine API (repro.api)."""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+import pytest
+
+from repro.api import (
+    ALGORITHMS,
+    BACKENDS,
+    Engine,
+    RunReport,
+    SearchSpec,
+    build_cluster,
+    list_algorithms,
+    list_backends,
+    register_algorithm,
+    register_backend,
+    to_jsonable,
+)
+from repro.core.nested import nmcs
+from repro.cluster.topology import homogeneous_cluster
+from repro.parallel.driver import (
+    first_move_experiment,
+    rollout_experiment,
+    sequential_reference,
+)
+from repro.parallel.round_robin import run_round_robin
+from repro.parallel.last_minute import run_last_minute
+from repro.workloads import get_workload
+
+
+REPORT_KEYS = {
+    "spec",
+    "algorithm",
+    "backend",
+    "level",
+    "score",
+    "sequence",
+    "sequence_length",
+    "work_units",
+    "simulated_seconds",
+    "wall_seconds",
+    "n_jobs",
+    "n_workers",
+    "comm",
+    "client_utilisation",
+}
+
+
+class TestSearchSpec:
+    def test_dict_round_trip(self):
+        spec = SearchSpec(
+            workload="tsp",
+            algorithm="nrpa",
+            backend="sequential",
+            level=2,
+            seed=7,
+            max_steps=3,
+            dispatcher="lm",
+            cluster="heterogeneous:2x4+2x2",
+            n_clients=16,
+            params={"iterations": 5, "alpha": 0.5},
+        )
+        assert SearchSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = SearchSpec(workload="morpion-small", backend="sim-cluster", dispatcher="rr")
+        text = spec.to_json(indent=2)
+        assert SearchSpec.from_json(text) == spec
+        json.loads(text)  # genuinely valid JSON
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown SearchSpec fields: bogus"):
+            SearchSpec.from_dict({"workload": "tsp", "bogus": 1})
+
+    def test_replace_returns_modified_copy(self):
+        spec = SearchSpec(workload="tsp")
+        other = spec.replace(backend="threads", n_workers=2)
+        assert other.backend == "threads" and other.n_workers == 2
+        assert spec.backend == "sequential"
+
+    def test_specs_are_hashable_and_params_read_only(self):
+        spec = SearchSpec(workload="tsp", params={"iterations": 3})
+        assert spec == spec.replace()
+        assert len({spec, spec.replace(), spec.replace(seed=1)}) == 2
+        with pytest.raises(TypeError):
+            spec.params["iterations"] = 99
+
+    def test_dict_round_trip_preserves_param_types(self):
+        spec = SearchSpec(params={"pair": (1, 2)})
+        assert SearchSpec.from_dict(spec.to_dict()) == spec
+        assert spec.to_dict()["params"]["pair"] == (1, 2)  # verbatim, not coerced
+
+    def test_to_json_rejects_non_serialisable_params(self):
+        spec = SearchSpec(params={"fn": object()})
+        with pytest.raises(TypeError):
+            spec.to_json()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SearchSpec(level=-1)
+        with pytest.raises(ValueError):
+            SearchSpec(max_steps=0)
+        with pytest.raises(ValueError):
+            SearchSpec(n_clients=0)
+        with pytest.raises(ValueError):
+            SearchSpec(dispatcher="bogus")
+        with pytest.raises(ValueError):
+            SearchSpec(freq_ghz=0.0)
+
+
+class TestRegistries:
+    def test_builtins_registered(self):
+        assert {"sample", "flat", "nmcs", "reflexive", "iterated", "nrpa"} <= set(
+            list_algorithms()
+        )
+        assert {"sequential", "sim-cluster", "multiprocessing", "threads"} <= set(
+            list_backends()
+        )
+
+    def test_duplicate_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_algorithm("nmcs")(lambda *a: None)
+
+    def test_duplicate_backend_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("sequential")(lambda *a: None)
+
+    def test_custom_registration_round_trips(self):
+        @register_algorithm("test-greedy", description="for this test only")
+        def _greedy(state, level, seeds, counter, budget, params):
+            from repro.core.sample import sample
+
+            return sample(state, seeds=seeds, counter=counter)
+
+        try:
+            report = Engine().run(
+                SearchSpec(workload="leftmove", algorithm="test-greedy", level=0)
+            )
+            assert report.algorithm == "test-greedy"
+            assert report.score > 0
+        finally:
+            del ALGORITHMS["test-greedy"]
+
+    def test_unknown_names_raise_helpfully(self):
+        with pytest.raises(ValueError, match="registered algorithms"):
+            Engine().run(SearchSpec(algorithm="bogus"))
+        with pytest.raises(ValueError, match="registered backends"):
+            Engine().run(SearchSpec(backend="bogus"))
+
+
+class TestClusterDescriptors:
+    def test_homogeneous(self):
+        cluster = build_cluster(SearchSpec(cluster="homogeneous", n_clients=6))
+        assert cluster.n_clients == 6
+
+    def test_paper_mix_switches_at_32(self):
+        small = build_cluster(SearchSpec(cluster="paper-mix", n_clients=8))
+        large = build_cluster(SearchSpec(cluster="paper-mix", n_clients=64))
+        assert all(node.freq_ghz in (1.86, 2.33) for node in small.nodes)
+        assert any("fast" in node.name for node in large.nodes)
+
+    def test_heterogeneous_descriptor(self):
+        cluster = build_cluster(SearchSpec(cluster="heterogeneous:2x4+3x2"))
+        assert cluster.n_clients == 2 * 4 + 3 * 2
+
+    def test_bad_descriptors(self):
+        with pytest.raises(ValueError, match="known kinds"):
+            build_cluster(SearchSpec(cluster="bogus"))
+        with pytest.raises(ValueError, match="heterogeneous"):
+            build_cluster(SearchSpec(cluster="heterogeneous:nope"))
+
+
+@pytest.fixture(scope="module")
+def engine():
+    """One engine for the whole module: job caching is shared across tests."""
+    return Engine()
+
+
+class TestEngine:
+    def test_sequential_nmcs_matches_legacy_entry_point(self, engine):
+        workload = get_workload("morpion-small")
+        report = engine.run(SearchSpec(workload="morpion-small", level=2, seed=3, max_steps=1))
+        legacy = nmcs(workload.state(), 2, seed=3, max_steps=1)
+        assert report.score == legacy.score
+        assert report.sequence == legacy.sequence
+
+    def test_backends_agree_on_the_search_result(self, engine):
+        base = SearchSpec(workload="morpion-small", level=2, seed=0, max_steps=1)
+        reports = [
+            engine.run(base),
+            engine.run(base.replace(backend="sim-cluster", dispatcher="rr", n_clients=4)),
+            engine.run(base.replace(backend="sim-cluster", dispatcher="lm", n_clients=4)),
+            engine.run(base.replace(backend="threads", n_workers=2)),
+        ]
+        scores = {report.score for report in reports}
+        assert len(scores) == 1
+
+    def test_every_algorithm_backend_pair(self, engine):
+        """Every registered algorithm × backend pair either runs or refuses clearly."""
+        for algorithm, backend in itertools.product(ALGORITHMS, BACKENDS):
+            entry = BACKENDS[backend]
+            level = 2 if backend == "sim-cluster" else 1
+            spec = SearchSpec(
+                workload="morpion-small",
+                algorithm=algorithm,
+                backend=backend,
+                level=level,
+                seed=0,
+                max_steps=1 if ALGORITHMS[algorithm].supports_budget else None,
+                n_clients=2,
+                n_workers=2,
+                params={"iterations": 2, "restarts": 2, "playouts_per_move": 1},
+            )
+            if entry.supports(algorithm):
+                report = engine.run(spec)
+                assert isinstance(report, RunReport), (algorithm, backend)
+                assert set(report.to_dict()) == REPORT_KEYS, (algorithm, backend)
+                assert report.score >= 0.0, (algorithm, backend)
+                json.dumps(report.to_dict())  # serialisable for every pair
+            else:
+                with pytest.raises(ValueError, match=f"backend {backend!r}"):
+                    engine.run(spec)
+
+    def test_multiprocessing_backend_smoke(self, engine):
+        report = engine.run(
+            SearchSpec(
+                workload="morpion-small",
+                backend="multiprocessing",
+                level=1,
+                max_steps=1,
+                n_workers=2,
+            )
+        )
+        legacy = nmcs(get_workload("morpion-small").state(), 1, seed=0, max_steps=1)
+        assert report.score == legacy.score
+        assert report.n_workers == 2
+
+    def test_run_accepts_a_plain_dict(self, engine):
+        report = engine.run({"workload": "leftmove", "level": 1, "max_steps": 1})
+        assert report.backend == "sequential"
+
+    def test_run_many(self, engine):
+        specs = [
+            SearchSpec(workload="leftmove", level=1, seed=seed, max_steps=1)
+            for seed in (0, 1)
+        ]
+        reports = engine.run_many(specs)
+        assert [r.spec.seed for r in reports] == [0, 1]
+
+    def test_sim_cluster_report_carries_comm_and_trace(self, engine):
+        report = engine.run(
+            SearchSpec(
+                workload="morpion-small",
+                backend="sim-cluster",
+                dispatcher="lm",
+                level=2,
+                max_steps=1,
+                n_clients=4,
+            )
+        )
+        assert report.comm  # message counts present
+        assert report.raw.trace is not None  # substrate-native result available
+        assert 0.0 < report.client_utilisation <= 1.0
+        assert report.n_jobs == report.raw.n_jobs
+
+    def test_mixed_workloads_on_one_engine_do_not_alias_caches(self, engine):
+        """Job caches are partitioned per workload (seed paths repeat across games)."""
+        base = SearchSpec(backend="sim-cluster", level=2, seed=0, max_steps=1, n_clients=2)
+        morpion = engine.run(base.replace(workload="morpion-small"))
+        left = engine.run(base.replace(workload="leftmove"))
+        assert morpion.score == 12.0
+        assert left.score > 0
+        assert morpion.sequence != left.sequence
+
+    def test_budgetless_algorithms_reject_max_steps(self, engine):
+        for algorithm in ("nrpa", "iterated", "sample"):
+            with pytest.raises(ValueError, match="no root-move budget"):
+                engine.run(
+                    SearchSpec(workload="leftmove", algorithm=algorithm, level=1, max_steps=1)
+                )
+
+    def test_spec_units_per_ghz_overrides_cost_model(self, engine):
+        fast = engine.run(
+            SearchSpec(workload="leftmove", level=1, max_steps=1, units_per_ghz=1e9)
+        )
+        slow = engine.run(
+            SearchSpec(workload="leftmove", level=1, max_steps=1, units_per_ghz=1e3)
+        )
+        assert fast.simulated_seconds < slow.simulated_seconds
+
+
+class TestDeprecatedShims:
+    """The pre-API entry points still work and delegate through the Engine."""
+
+    def test_first_move_experiment_delegates(self):
+        workload = get_workload("morpion-small")
+        cluster = homogeneous_cluster(4)
+        with pytest.warns(DeprecationWarning):
+            legacy = first_move_experiment(workload.state(), 2, "rr", cluster, master_seed=0)
+        report = Engine().run(
+            SearchSpec(
+                workload="morpion-small",
+                backend="sim-cluster",
+                dispatcher="rr",
+                level=2,
+                max_steps=1,
+                n_clients=4,
+            )
+        )
+        assert legacy.result.score == report.score
+        assert legacy.result.sequence == report.sequence
+
+    def test_rollout_experiment_still_runs(self):
+        workload = get_workload("leftmove")
+        with pytest.warns(DeprecationWarning):
+            run = rollout_experiment(workload.state(), 2, "lm", homogeneous_cluster(2))
+        assert run.result.score > 0
+
+    def test_sequential_reference_matches_engine(self):
+        workload = get_workload("morpion-small")
+        with pytest.warns(DeprecationWarning):
+            ref = sequential_reference(workload.state(), 2, master_seed=1, max_steps=1)
+        report = Engine().run(
+            SearchSpec(workload="morpion-small", level=2, seed=1, max_steps=1)
+        )
+        assert ref.result.score == report.score
+        assert ref.work_units == report.work_units
+        assert ref.simulated_seconds == pytest.approx(report.simulated_seconds)
+
+    def test_rr_and_lm_front_ends(self):
+        workload = get_workload("leftmove")
+        with pytest.warns(DeprecationWarning):
+            rr = run_round_robin(workload.state(), 2, homogeneous_cluster(2), max_root_steps=1)
+        with pytest.warns(DeprecationWarning):
+            lm = run_last_minute(workload.state(), 2, homogeneous_cluster(2), max_root_steps=1)
+        assert rr.result.score == lm.result.score
+
+
+class TestToJsonable:
+    def test_handles_library_payloads(self):
+        from repro.analysis.commpattern import CommunicationSummary
+
+        payload = {
+            "summary": CommunicationSummary(counts={"task": 3}),
+            "nested": {"tuple": (1, 2), "set": {3}},
+            "enum": __import__("repro.parallel.config", fromlist=["DispatcherKind"]).DispatcherKind.ROUND_ROBIN,
+        }
+        encoded = to_jsonable(payload)
+        json.dumps(encoded)
+        assert encoded["summary"]["counts"]["task"] == 3
+        assert encoded["enum"] == "round_robin"

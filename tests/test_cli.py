@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -23,6 +25,8 @@ class TestParser:
             ["table6"],
             ["figures2-5", "--clients", "4"],
             ["figure1", "--sequential"],
+            ["run", "--workload", "leftmove", "--backend", "sim-cluster", "--first-move"],
+            ["run", "--spec", "scenario.json", "--json"],
         ):
             assert parser.parse_args(argv) is not None
 
@@ -71,3 +75,131 @@ class TestCommands:
         assert main(["figure1", "--workload", "morpion-small", "--level", "1", "--sequential"]) == 0
         out = capsys.readouterr().out
         assert "Figure 1" in out
+
+
+class TestRunCommand:
+    def test_run_sequential(self, capsys):
+        assert main(["run", "--workload", "leftmove", "--level", "1", "--first-move"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=sequential" in out and "score:" in out
+
+    def test_run_sim_cluster_json(self, capsys):
+        assert main(
+            [
+                "run", "--workload", "leftmove", "--backend", "sim-cluster",
+                "--dispatcher", "lm", "--clients", "4", "--first-move", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "sim-cluster"
+        assert payload["spec"]["dispatcher"] == "lm"
+        assert payload["comm"]
+
+    def test_run_with_algorithm_params(self, capsys):
+        assert main(
+            [
+                "run", "--workload", "leftmove", "--algorithm", "nrpa",
+                "--level", "1", "--param", "iterations=2", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "nrpa"
+        assert payload["spec"]["params"]["iterations"] == 2
+
+    def test_run_from_spec_file(self, tmp_path, capsys):
+        spec_file = tmp_path / "scenario.json"
+        spec_file.write_text(
+            json.dumps({"workload": "leftmove", "level": 1, "max_steps": 1}),
+            encoding="utf-8",
+        )
+        assert main(["run", "--spec", str(spec_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["workload"] == "leftmove"
+
+    def test_run_spec_file_with_flag_overrides(self, tmp_path, capsys):
+        spec_file = tmp_path / "scenario.json"
+        spec_file.write_text(
+            json.dumps({"workload": "leftmove", "level": 1, "seed": 3, "max_steps": 1}),
+            encoding="utf-8",
+        )
+        assert main(["run", "--spec", str(spec_file), "--seed", "5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["seed"] == 5           # flag overrides the document
+        assert payload["spec"]["workload"] == "leftmove"  # untouched fields survive
+
+    def test_run_spec_file_override_to_a_default_value(self, tmp_path, capsys):
+        # An explicitly passed flag wins even when its value equals the
+        # SearchSpec default (SUPPRESS defaults make "passed" detectable).
+        spec_file = tmp_path / "scenario.json"
+        spec_file.write_text(
+            json.dumps({"workload": "leftmove", "level": 1, "seed": 3, "max_steps": 1}),
+            encoding="utf-8",
+        )
+        assert main(["run", "--spec", str(spec_file), "--seed", "0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["seed"] == 0
+
+    def test_run_from_inline_spec(self, capsys):
+        assert main(["run", "--spec", '{"workload": "leftmove", "level": 1, "max_steps": 1}']) == 0
+        assert "score:" in capsys.readouterr().out
+
+    def test_run_rejects_bad_backend(self, capsys):
+        assert main(["run", "--workload", "leftmove", "--backend", "bogus"]) == 2
+        captured = capsys.readouterr()
+        assert "registered backends" in captured.err
+        assert captured.out == ""  # --json pipelines never see diagnostics
+
+    def test_run_rejects_unsupported_pair(self, capsys):
+        assert main(
+            ["run", "--workload", "leftmove", "--algorithm", "nrpa", "--backend", "sim-cluster"]
+        ) == 2
+        assert "cannot execute" in capsys.readouterr().err
+
+    def test_run_rejects_bad_param(self, capsys):
+        assert main(["run", "--workload", "leftmove", "--param", "noequals"]) == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    """Every table/figure command emits machine-readable output with --json."""
+
+    def test_workloads_json(self, capsys):
+        assert main(["workloads", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "sop" in payload["workloads"] and "leftmove" in payload["workloads"]
+        assert "nmcs" in payload["algorithms"] and "sim-cluster" in payload["backends"]
+
+    def test_nmcs_json(self, capsys):
+        assert main(["nmcs", "--workload", "leftmove", "--level", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "nmcs"
+
+    def test_table1_json(self, capsys):
+        assert main(["table1", "--workload", "weakschur", "--levels", "1", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "ratios" in payload["data"]
+
+    def test_table2_json(self, capsys):
+        assert main(
+            ["table2", "--workload", "weakschur", "--levels", "2", "--clients", "1", "4", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["times"]["2"]["1"] >= payload["times"]["2"]["4"]
+        assert payload["speedups"]["2"]["1"] == 1.0
+
+    def test_table6_json(self, capsys):
+        assert main(["table6", "--workload", "weakschur", "--levels", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "advantages" in payload["data"]
+
+    def test_figures_json(self, capsys):
+        assert main(
+            ["figures2-5", "--workload", "weakschur", "--levels", "2", "--clients", "4", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["dispatcher"] for entry in payload} == {"round_robin", "last_minute"}
+
+    def test_figure1_json(self, capsys):
+        assert main(["figure1", "--workload", "morpion-small", "--level", "1", "--sequential", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "grid" in payload["data"]

@@ -23,6 +23,10 @@ class TestWorkloads:
         names = set(list_workloads())
         assert {"morpion-bench", "morpion-small", "morpion-5d", "paper-scale"} <= names
 
+    def test_registry_contains_every_bundled_game(self):
+        names = set(list_workloads())
+        assert {"samegame", "tsp", "sop", "weakschur", "leftmove"} <= names
+
     def test_get_workload_unknown(self):
         with pytest.raises(KeyError):
             get_workload("nope")
@@ -88,8 +92,12 @@ class TestExperimentRunners:
         assert sweep.times[2][4] <= sweep.times[2][1]
 
     def test_client_sweep_rejects_unknown_experiment(self):
-        with pytest.raises(ValueError):
+        # Validation happens before any runner/dispatcher resolution and the
+        # message lists the valid values.
+        with pytest.raises(ValueError, match="'first_move'.*'rollout'"):
             run_client_sweep("rr", experiment="nope", workload="weakschur", levels=[2], client_counts=[1])
+        with pytest.raises(ValueError, match="first_move"):
+            run_client_sweep("bogus-dispatcher", experiment="nope", workload="weakschur")
 
     def test_table6_lm_not_worse_than_rr(self, shared_executor):
         result = run_table6_heterogeneous(
