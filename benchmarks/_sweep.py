@@ -1,11 +1,12 @@
 """Shared helpers for the Tables II–V client-sweep benchmarks.
 
-The sweep runner is :func:`repro.experiments.run_client_sweep`, which drives
-every table cell through the unified :mod:`repro.api` facade (one
-``SearchSpec`` per cell on a shared ``Engine``), so the benchmarks measure the
-same code path the public API exposes.  Besides the rendered table, each sweep
-persists its machine-readable JSON payload so downstream pipelines never
-scrape tables.
+The sweep runner is :func:`repro.experiments.run_client_sweep`, which expands
+each table into a declarative :class:`repro.lab.SweepSpec` and executes it
+through the engine's batch layer (``Engine.run_many``) against the session's
+shared :class:`repro.lab.ResultStore` — the same code path ``repro sweep``
+exposes on the command line.  Besides the rendered table, each sweep persists
+its machine-readable JSON payload so downstream pipelines never scrape
+tables.
 """
 
 from __future__ import annotations
@@ -41,6 +42,7 @@ def run_sweep_benchmark(
     experiment: str,
     result_name: str,
     paper_table: Dict,
+    bench_store=None,
 ):
     """Run one Tables II–V sweep, persist its table and check its shape."""
     levels = sweep_levels(bench_workload, experiment)
@@ -55,6 +57,7 @@ def run_sweep_benchmark(
             master_seed=MASTER_SEED,
             executor=bench_executor,
             cost_model=bench_cost_model,
+            store=bench_store,
         )
 
     sweep = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -15,7 +15,7 @@ from repro.paperdata import TABLE_II
 
 @pytest.mark.benchmark(group="table2")
 def test_table2_round_robin_first_move(
-    benchmark, bench_workload, bench_executor, bench_cost_model, results_dir
+    benchmark, bench_workload, bench_executor, bench_cost_model, results_dir, bench_store
 ):
     sweep = run_sweep_benchmark(
         benchmark,
@@ -27,6 +27,7 @@ def test_table2_round_robin_first_move(
         experiment="first_move",
         result_name="table2_rr_firstmove",
         paper_table=TABLE_II,
+        bench_store=bench_store,
     )
     # The high level parallelises at least as well as the low level at 64
     # clients (the paper's headline speedup of ~56 is at the highest level).

@@ -15,7 +15,7 @@ from repro.paperdata import TABLE_III
 
 @pytest.mark.benchmark(group="table3")
 def test_table3_round_robin_rollout(
-    benchmark, bench_workload, bench_executor, bench_cost_model, results_dir
+    benchmark, bench_workload, bench_executor, bench_cost_model, results_dir, bench_store
 ):
     run_sweep_benchmark(
         benchmark,
@@ -27,4 +27,5 @@ def test_table3_round_robin_rollout(
         experiment="rollout",
         result_name="table3_rr_rollout",
         paper_table=TABLE_III,
+        bench_store=bench_store,
     )

@@ -16,7 +16,7 @@ from repro.paperdata import TABLE_IV
 
 @pytest.mark.benchmark(group="table4")
 def test_table4_last_minute_first_move(
-    benchmark, bench_workload, bench_executor, bench_cost_model, results_dir
+    benchmark, bench_workload, bench_executor, bench_cost_model, results_dir, bench_store
 ):
     lm = run_sweep_benchmark(
         benchmark,
@@ -28,6 +28,7 @@ def test_table4_last_minute_first_move(
         experiment="first_move",
         result_name="table4_lm_firstmove",
         paper_table=TABLE_IV,
+        bench_store=bench_store,
     )
     # Compare against Round-Robin at the high level / 64 clients (cached jobs,
     # so this re-simulation is cheap): Last-Minute must not be slower by more

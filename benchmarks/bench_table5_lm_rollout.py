@@ -16,7 +16,7 @@ from repro.paperdata import TABLE_V
 
 @pytest.mark.benchmark(group="table5")
 def test_table5_last_minute_rollout(
-    benchmark, bench_workload, bench_executor, bench_cost_model, results_dir
+    benchmark, bench_workload, bench_executor, bench_cost_model, results_dir, bench_store
 ):
     lm = run_sweep_benchmark(
         benchmark,
@@ -28,6 +28,7 @@ def test_table5_last_minute_rollout(
         experiment="rollout",
         result_name="table5_lm_rollout",
         paper_table=TABLE_V,
+        bench_store=bench_store,
     )
     # Last-Minute rollouts stay within a few percent of Round-Robin rollouts
     # on the homogeneous sweep (the paper reports a slight LM advantage).

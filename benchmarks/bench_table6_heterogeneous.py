@@ -17,7 +17,7 @@ from repro.paperdata import TABLE_VI
 
 @pytest.mark.benchmark(group="table6")
 def test_table6_heterogeneous_lm_vs_rr(
-    benchmark, bench_workload, bench_executor, bench_cost_model, results_dir
+    benchmark, bench_workload, bench_executor, bench_cost_model, results_dir, bench_store
 ):
     lo, hi = bench_workload.low_level, bench_workload.high_level
 
@@ -29,6 +29,7 @@ def test_table6_heterogeneous_lm_vs_rr(
             master_seed=MASTER_SEED,
             executor=bench_executor,
             cost_model=bench_cost_model,
+            store=bench_store,
         )
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -24,6 +24,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import calibrated_cost_model
+from repro.lab import ResultStore
 from repro.parallel.jobs import CachingJobExecutor
 from repro.workloads import get_workload
 
@@ -51,6 +52,18 @@ def bench_executor():
 def bench_cost_model(bench_workload):
     """Cost model calibrated so the workload sits on the paper's timescale."""
     return calibrated_cost_model(bench_workload, master_seed=MASTER_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_store(tmp_path_factory):
+    """A fresh per-session ResultStore shared by the sweep benchmarks.
+
+    Fresh (not persistent across sessions) on purpose: the benchmarks measure
+    execution, and a pre-populated store would time cache lookups instead.
+    Within the session it makes every sweep cell durable, so overlapping
+    tables and re-parameterised runs never recompute a cell.
+    """
+    return ResultStore(tmp_path_factory.mktemp("result-store"))
 
 
 @pytest.fixture(scope="session")

@@ -66,6 +66,20 @@ def main() -> None:
         f"(same score: {sequential.score == cluster.score})"
     )
 
+    # Sweeps are declarative too: a SweepSpec is a base spec plus axes, and
+    # the engine's batch layer runs the whole grid in one call (attach a
+    # repro.ResultStore to make it durable and resumable — see
+    # examples/sweep_resume.py and docs/SWEEPS.md).
+    from repro import SweepSpec
+
+    sweep = SweepSpec(
+        base=spec.replace(backend="sim-cluster", dispatcher="lm"),
+        axes={"n_clients": (1, 4, 8)},
+    )
+    reports = engine.run_many(sweep)
+    curve = ", ".join(f"{r.spec.n_clients}: {r.simulated_seconds:.1f}s" for r in reports)
+    print(f"Sweep over clients (one SweepSpec, one run_many): {curve}")
+
 
 if __name__ == "__main__":
     main()

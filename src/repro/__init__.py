@@ -4,7 +4,10 @@ The library is organised as:
 
 * :mod:`repro.api` — **the front door**: declarative :class:`SearchSpec` +
   :class:`Engine` running any registered algorithm on any registered backend
-  with one :class:`RunReport` schema;
+  with one :class:`RunReport` schema, plus the streaming batch layer
+  (``Engine.stream`` / ``Engine.run_many``);
+* :mod:`repro.lab` — declarative sweeps: :class:`SweepSpec` grids,
+  content-addressed :class:`ResultStore` (resumable sweeps), JSON/CSV export;
 * :mod:`repro.games` — search domains (Morpion Solitaire, SameGame, TSP, SOP,
   Weak Schur, toy games);
 * :mod:`repro.core` — sequential search algorithms (random sampling, flat
@@ -45,6 +48,7 @@ are deprecated shims over the unified API.
 
 from repro.api import (
     Engine,
+    RunEvent,
     RunReport,
     SearchSpec,
     list_algorithms,
@@ -52,6 +56,7 @@ from repro.api import (
     register_algorithm,
     register_backend,
 )
+from repro.lab import ResultStore, SweepSpec, spec_key
 from repro.prng import SeedSequence, derive_seed, spawn_rng
 from repro.games import (
     GameState,
@@ -108,10 +113,15 @@ __all__ = [
     "Engine",
     "SearchSpec",
     "RunReport",
+    "RunEvent",
     "register_algorithm",
     "register_backend",
     "list_algorithms",
     "list_backends",
+    # sweeps / lab
+    "SweepSpec",
+    "ResultStore",
+    "spec_key",
     # randomness
     "SeedSequence",
     "derive_seed",

@@ -3,14 +3,18 @@
 The benchmark harness builds :class:`Table` objects (row label + one cell per
 column) and renders them with :func:`render_table`; cells are typically the
 ``mean (std)`` strings produced by :class:`repro.analysis.stats.Summary`.
+
+:func:`pivot_table` builds a :class:`Table` straight from the flat rows that
+:mod:`repro.lab.export` produces, so sweep results render as paper-style
+tables without any per-experiment assembly code.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
-__all__ = ["Table", "render_table"]
+__all__ = ["Table", "render_table", "pivot_table"]
 
 
 @dataclass
@@ -42,6 +46,45 @@ class Table:
     def render(self) -> str:
         """Render as aligned plain text."""
         return render_table(self)
+
+
+def pivot_table(
+    rows: Iterable[Mapping[str, Any]],
+    *,
+    title: str,
+    index: str,
+    column: str,
+    value: str,
+    row_label: Optional[str] = None,
+    fmt: Callable[[Any], str] = str,
+    column_fmt: Callable[[Any], str] = str,
+) -> Table:
+    """Pivot flat result rows (see :mod:`repro.lab.export`) into a :class:`Table`.
+
+    One table row per distinct ``index`` value, one column per distinct
+    ``column`` value, cells holding ``fmt(row[value])``; both axes keep
+    first-appearance order, so the caller's row ordering (e.g. clients
+    descending, as in the paper's tables) carries through.  A (index,
+    column) pair hit twice keeps the *last* value; pairs never hit render
+    as ``—`` like the paper's missing entries.
+    """
+    rows = list(rows)
+    index_order: List[Any] = []
+    column_order: List[Any] = []
+    cells: Dict[Any, Dict[str, str]] = {}
+    for row in rows:
+        idx, col = row[index], row[column]
+        if idx not in cells:
+            cells[idx] = {}
+            index_order.append(idx)
+        label = column_fmt(col)
+        if label not in column_order:
+            column_order.append(label)
+        cells[idx][label] = fmt(row[value])
+    table = Table(title=title, columns=column_order, row_label=row_label or index)
+    for idx in index_order:
+        table.add_row(str(idx), **cells[idx])
+    return table
 
 
 def render_table(table: Table) -> str:

@@ -30,6 +30,15 @@ Extensibility is registry-based:
 Specs and reports serialise to/from dict and JSON (:meth:`SearchSpec.to_json`,
 :meth:`SearchSpec.from_json`, :meth:`RunReport.to_json`), so sweeps can be
 stored, shipped to workers, or diffed between sessions.
+
+Batches are first-class: :meth:`Engine.stream` executes a list of specs or a
+whole :class:`repro.lab.sweep.SweepSpec` as a lazy stream of
+:class:`RunEvent`\\ s (started / cached / completed / failed per cell) with an
+error policy, cancellation and an optional worker pool, and
+:meth:`Engine.run_many` collects that stream into reports.  Attaching a
+:class:`repro.lab.store.ResultStore` makes batches durable and resumable:
+completed cells are persisted under their content address and skipped on
+re-runs (see ``docs/SWEEPS.md``).
 """
 
 from __future__ import annotations
@@ -37,10 +46,24 @@ from __future__ import annotations
 import dataclasses
 import enum
 import json
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field, replace
 from types import MappingProxyType
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.cluster.network import NetworkModel
 from repro.cluster.topology import (
@@ -68,10 +91,15 @@ from repro.prng import SeedSequence
 from repro.timemodel.cost import CostModel
 from repro.workloads import Workload, get_workload
 
+if TYPE_CHECKING:  # pragma: no cover - lab imports api; annotations only here
+    from repro.lab.store import ResultStore
+    from repro.lab.sweep import SweepSpec
+
 __all__ = [
     "SearchSpec",
     "RunReport",
     "RunContext",
+    "RunEvent",
     "Engine",
     "AlgorithmEntry",
     "BackendEntry",
@@ -308,6 +336,11 @@ class AlgorithmEntry:
     notion of a root-move cap register ``supports_budget=False``; the engine
     then rejects specs with ``max_steps`` set instead of silently running
     unbounded while the report claims otherwise.
+
+    ``params`` declares the parameter names the algorithm reads, so the
+    engine can reject typos (``playout_per_move``) loudly instead of
+    silently ignoring them; ``None`` opts out of validation entirely (the
+    algorithm accepts arbitrary keys).
     """
 
     name: str
@@ -315,6 +348,7 @@ class AlgorithmEntry:
     description: str = ""
     seed_label: str = "nmcs"
     supports_budget: bool = True
+    params: Optional[Tuple[str, ...]] = ()
 
 
 @dataclass(frozen=True)
@@ -324,7 +358,10 @@ class BackendEntry:
     ``fn`` follows the protocol ``(spec, algorithm, ctx) -> RunReport``.
     ``algorithms`` restricts which registered algorithms the substrate can
     execute (``None`` = all); the three parallel substrates distribute the
-    nested search specifically, so they declare ``("nmcs",)``.
+    nested search specifically, so they declare ``("nmcs",)``.  ``params``
+    declares substrate-level parameter names the backend reads from
+    ``spec.params`` (e.g. ``lm_fifo_jobs``); they are accepted in addition
+    to the algorithm's own declared params.
     """
 
     name: str
@@ -332,6 +369,7 @@ class BackendEntry:
     description: str = ""
     algorithms: Optional[Tuple[str, ...]] = None
     needs_cluster: bool = False
+    params: Optional[Tuple[str, ...]] = ()
 
     def supports(self, algorithm: str) -> bool:
         return self.algorithms is None or algorithm in self.algorithms
@@ -342,11 +380,18 @@ BACKENDS: Dict[str, BackendEntry] = {}
 
 
 def register_algorithm(
-    name: str, *, description: str = "", seed_label: str = "nmcs", supports_budget: bool = True
+    name: str,
+    *,
+    description: str = "",
+    seed_label: str = "nmcs",
+    supports_budget: bool = True,
+    params: Optional[Iterable[str]] = (),
 ) -> Callable[[Callable[..., SearchResult]], Callable[..., SearchResult]]:
     """Register the decorated function as the search algorithm named ``name``.
 
-    Raises ``ValueError`` if the name is already taken (registries are flat
+    ``params`` declares the accepted ``spec.params`` keys (the engine rejects
+    any others loudly; pass ``None`` to accept arbitrary keys).  Raises
+    ``ValueError`` if the name is already taken (registries are flat
     namespaces shared by the CLI, the benchmarks and the experiment runners).
     """
 
@@ -359,6 +404,7 @@ def register_algorithm(
             description=description,
             seed_label=seed_label,
             supports_budget=supports_budget,
+            params=None if params is None else tuple(params),
         )
         return fn
 
@@ -371,6 +417,7 @@ def register_backend(
     description: str = "",
     algorithms: Optional[Iterable[str]] = None,
     needs_cluster: bool = False,
+    params: Optional[Iterable[str]] = (),
 ) -> Callable[[Callable[..., RunReport]], Callable[..., RunReport]]:
     """Register the decorated function as the execution backend named ``name``."""
 
@@ -383,6 +430,7 @@ def register_backend(
             description=description,
             algorithms=None if algorithms is None else tuple(algorithms),
             needs_cluster=needs_cluster,
+            params=None if params is None else tuple(params),
         )
         return fn
 
@@ -413,6 +461,25 @@ def _backend(name: str) -> BackendEntry:
     except KeyError:
         known = ", ".join(sorted(BACKENDS))
         raise ValueError(f"unknown backend {name!r}; registered backends: {known}") from None
+
+
+def _validate_params(spec: SearchSpec, algorithm: AlgorithmEntry, backend: BackendEntry) -> None:
+    """Reject ``spec.params`` keys neither the algorithm nor the backend declares.
+
+    Either side may register ``params=None`` to accept arbitrary keys, which
+    disables the check (an undeclared surface cannot be validated against).
+    """
+    if algorithm.params is None or backend.params is None:
+        return
+    allowed = set(algorithm.params) | set(backend.params)
+    unknown = sorted(set(spec.params) - allowed)
+    if not unknown:
+        return
+    accepted = ", ".join(sorted(allowed)) if allowed else "(none)"
+    raise ValueError(
+        f"unknown param(s) {', '.join(map(repr, unknown))} for algorithm "
+        f"{spec.algorithm!r} on backend {spec.backend!r}; accepted params: {accepted}"
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -463,6 +530,41 @@ class RunContext:
     cost_model: CostModel
     network: Optional[NetworkModel] = None
     cluster: Optional[ClusterSpec] = None
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One lifecycle event of a batched run (see :meth:`Engine.stream`).
+
+    ``kind`` is one of:
+
+    * ``"started"`` — the cell is about to execute (not emitted for cache hits);
+    * ``"cached"`` — the cell was satisfied from the :class:`ResultStore`
+      without executing any search;
+    * ``"completed"`` — the cell executed successfully (and was stored, when
+      a store is attached);
+    * ``"failed"`` — the cell raised; ``error`` carries the exception.
+
+    ``done`` / ``total`` make every terminal event a progress report
+    (``done`` counts cells finished so far, including this one).
+    """
+
+    kind: str
+    index: int
+    total: int
+    spec: SearchSpec
+    report: Optional[RunReport] = None
+    error: Optional[BaseException] = None
+    done: int = 0
+
+    @property
+    def terminal(self) -> bool:
+        """Whether this event ends its cell (cached / completed / failed)."""
+        return self.kind != "started"
+
+
+#: What the batch layer accepts: a SweepSpec, or any iterable of specs/dicts.
+BatchInput = Union["SweepSpec", Iterable[Union[SearchSpec, Mapping[str, Any]]]]
 
 
 class Engine:
@@ -531,6 +633,7 @@ class Engine:
                 f"algorithm {spec.algorithm!r} has no root-move budget; "
                 "leave max_steps unset (it would be silently ignored otherwise)"
             )
+        _validate_params(spec, algorithm, backend)
         level = spec.level
         if state is None or level is None:
             workload = get_workload(spec.workload)
@@ -554,11 +657,225 @@ class Engine:
         )
         return backend.fn(spec, algorithm, ctx)
 
+    # ------------------------------------------------------------------ #
+    # Batch layer
+    # ------------------------------------------------------------------ #
+    def _expand_batch(self, specs: BatchInput) -> List[SearchSpec]:
+        """Normalise a batch input (SweepSpec / iterable of specs or dicts)."""
+        if hasattr(specs, "cells") and hasattr(specs, "base"):  # SweepSpec, duck-typed
+            expanded: Iterable[Any] = specs.specs()
+        elif isinstance(specs, (SearchSpec, Mapping)):
+            raise TypeError(
+                "Engine.run_many/stream take a SweepSpec or an iterable of specs; "
+                "for a single scenario use Engine.run(spec)"
+            )
+        else:
+            expanded = specs
+        return [
+            spec if isinstance(spec, SearchSpec) else SearchSpec.from_dict(spec)
+            for spec in expanded
+        ]
+
+    def _storable_spec(self, spec: SearchSpec) -> SearchSpec:
+        """The spec whose content address identifies this run's *result*.
+
+        ``simulated_seconds`` depends on the effective cost model, which for
+        a spec with ``units_per_ghz=None`` is an engine-level setting the
+        spec itself does not capture.  Pinning the engine's rate into the
+        spec keeps the content address faithful: the same sweep run on an
+        engine with a different calibration stores under different keys
+        instead of silently reusing mismatched timings.  The batch layer
+        *executes* the pinned spec too (it resolves to the identical cost
+        model), so the reports it returns echo the exact spec their store
+        records carry, fresh and cached runs alike.
+        """
+        if spec.units_per_ghz is None and self.cost_model is not None:
+            return spec.replace(units_per_ghz=self.cost_model.units_per_ghz_per_second)
+        return spec
+
+    def _store_for(self, store: Optional["ResultStore"]) -> Optional["ResultStore"]:
+        """The store view batched runs should use under this engine.
+
+        An engine-level :class:`NetworkModel` changes what a spec evaluates
+        to without being a spec field, so its content fingerprint is folded
+        into the store salt — results simulated under different networks
+        never alias each other's records.
+        """
+        if store is None or self.network is None:
+            return store
+        from repro.lab.store import ResultStore
+
+        return ResultStore(store.root, salt=f"{store.salt}|network={self.network!r}")
+
+    def stream(
+        self,
+        specs: BatchInput,
+        *,
+        store: Optional["ResultStore"] = None,
+        error_policy: str = "raise",
+        max_workers: Optional[int] = None,
+        cancel: Optional[Union[threading.Event, Callable[[], bool]]] = None,
+        refresh: bool = False,
+    ) -> Iterator[RunEvent]:
+        """Execute a batch lazily, yielding a :class:`RunEvent` stream.
+
+        Parameters
+        ----------
+        specs:
+            A :class:`~repro.lab.sweep.SweepSpec` or an iterable of
+            :class:`SearchSpec` / spec dicts.
+        store:
+            Optional :class:`~repro.lab.store.ResultStore`: cells whose key
+            is already present resolve to ``"cached"`` events without
+            executing any search, and completed cells are persisted, so an
+            interrupted batch resumes for free.
+        error_policy:
+            ``"raise"`` (default) re-raises a cell's exception after
+            emitting its ``"failed"`` event; ``"skip"`` keeps going.
+        max_workers:
+            ``None``/``1`` runs cells inline; ``> 1`` runs independent cells
+            on a thread pool (events then arrive in completion order).
+            Simulated time is unaffected by the pool — only wall time is.
+        cancel:
+            A :class:`threading.Event` or zero-argument callable; when set,
+            no further cell starts (cells already running finish and their
+            events are delivered).
+        refresh:
+            Skip the store lookup (re-execute every cell) while still
+            persisting results — a forced re-run against the same store.
+        """
+        if error_policy not in ("raise", "skip"):
+            raise ValueError(f"unknown error_policy {error_policy!r}; use 'raise' or 'skip'")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1 when given")
+        if cancel is None:
+            cancelled = lambda: False  # noqa: E731 - tiny local predicate
+        elif isinstance(cancel, threading.Event):
+            cancelled = cancel.is_set
+        else:
+            cancelled = cancel
+        batch = [self._storable_spec(spec) for spec in self._expand_batch(specs)]
+        total = len(batch)
+        store = self._store_for(store)
+        if max_workers is not None and max_workers > 1:
+            yield from self._stream_pooled(
+                batch, total, store, error_policy, max_workers, cancelled, refresh
+            )
+            return
+        done = 0
+        for index, spec in enumerate(batch):
+            if cancelled():
+                return
+            if store is not None and not refresh:
+                report = store.get(spec)
+                if report is not None:
+                    done += 1
+                    yield RunEvent("cached", index, total, spec, report=report, done=done)
+                    continue
+            yield RunEvent("started", index, total, spec, done=done)
+            try:
+                report = self.run(spec)
+            except Exception as exc:
+                done += 1
+                yield RunEvent("failed", index, total, spec, error=exc, done=done)
+                if error_policy == "raise":
+                    raise
+                continue
+            if store is not None:
+                store.put(spec, report)
+            done += 1
+            yield RunEvent("completed", index, total, spec, report=report, done=done)
+
+    def _stream_pooled(
+        self,
+        batch: List[SearchSpec],
+        total: int,
+        store: Optional["ResultStore"],
+        error_policy: str,
+        max_workers: int,
+        cancelled: Callable[[], bool],
+        refresh: bool,
+    ) -> Iterator[RunEvent]:
+        """Worker-pool variant of :meth:`stream` (completion-order events).
+
+        Cache hits resolve up front; remaining cells are submitted to a
+        thread pool (``"started"`` is emitted at submission).  Store writes
+        stay on the consumer thread, so a store never sees concurrent
+        writers from one batch.  With ``error_policy="raise"`` the first
+        failure cancels not-yet-started cells, drains the running ones, and
+        re-raises.
+        """
+        done = 0
+        pending: List[Tuple[int, SearchSpec]] = []
+        for index, spec in enumerate(batch):
+            if store is not None and not refresh:
+                report = store.get(spec)
+                if report is not None:
+                    done += 1
+                    yield RunEvent("cached", index, total, spec, report=report, done=done)
+                    continue
+            pending.append((index, spec))
+        first_error: Optional[BaseException] = None
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = {}
+            for index, spec in pending:
+                if cancelled():
+                    break
+                yield RunEvent("started", index, total, spec, done=done)
+                futures[pool.submit(self.run, spec)] = (index, spec)
+            for future in as_completed(futures):
+                index, spec = futures[future]
+                if future.cancelled():  # pragma: no cover - cancel() raced a start
+                    continue
+                try:
+                    report = future.result()
+                except Exception as exc:
+                    done += 1
+                    yield RunEvent("failed", index, total, spec, error=exc, done=done)
+                    if error_policy == "raise" and first_error is None:
+                        first_error = exc
+                        for other in futures:
+                            other.cancel()
+                    continue
+                if store is not None:
+                    store.put(spec, report)
+                done += 1
+                yield RunEvent("completed", index, total, spec, report=report, done=done)
+        if first_error is not None:
+            raise first_error
+
     def run_many(
-        self, specs: Iterable["SearchSpec | Mapping[str, Any]"]
+        self,
+        specs: BatchInput,
+        *,
+        store: Optional["ResultStore"] = None,
+        on_event: Optional[Callable[[RunEvent], None]] = None,
+        error_policy: str = "raise",
+        max_workers: Optional[int] = None,
+        cancel: Optional[Union[threading.Event, Callable[[], bool]]] = None,
+        refresh: bool = False,
     ) -> List[RunReport]:
-        """Execute a batch of scenarios (shared caches) and return their reports."""
-        return [self.run(spec) for spec in specs]
+        """Execute a batch (or a whole :class:`SweepSpec`) and return its reports.
+
+        A thin collector over :meth:`stream`: reports come back in cell
+        order whatever ``max_workers`` is, cells that failed under
+        ``error_policy="skip"`` are absent, and ``on_event`` observes every
+        :class:`RunEvent` as it happens (progress callbacks, logging, ...).
+        """
+        reports: Dict[int, RunReport] = {}
+        for event in self.stream(
+            specs,
+            store=store,
+            error_policy=error_policy,
+            max_workers=max_workers,
+            cancel=cancel,
+            refresh=refresh,
+        ):
+            if on_event is not None:
+                on_event(event)
+            if event.report is not None:
+                reports[event.index] = event.report
+        return [reports[index] for index in sorted(reports)]
 
 
 # --------------------------------------------------------------------------- #
@@ -573,7 +890,12 @@ def _alg_sample(state, level, seeds, counter, budget, params) -> SearchResult:
     return sample(state, seeds=seeds, counter=counter)
 
 
-@register_algorithm("flat", description="flat Monte-Carlo move selection", seed_label="flat")
+@register_algorithm(
+    "flat",
+    description="flat Monte-Carlo move selection",
+    seed_label="flat",
+    params=("playouts_per_move", "aggregation"),
+)
 def _alg_flat(state, level, seeds, counter, budget, params) -> SearchResult:
     return flat_monte_carlo(
         state,
@@ -603,6 +925,7 @@ def _alg_reflexive(state, level, seeds, counter, budget, params) -> SearchResult
     "iterated",
     description="multi-restart NMCS, keeps the best sequence",
     supports_budget=False,
+    params=("restarts", "work_budget"),
 )
 def _alg_iterated(state, level, seeds, counter, budget, params) -> SearchResult:
     return iterated_search(
@@ -620,6 +943,7 @@ def _alg_iterated(state, level, seeds, counter, budget, params) -> SearchResult:
     description="Nested Rollout Policy Adaptation (Rosin 2011)",
     seed_label="nrpa",
     supports_budget=False,
+    params=("iterations", "alpha"),
 )
 def _alg_nrpa(state, level, seeds, counter, budget, params) -> SearchResult:
     return nrpa_search(
@@ -665,6 +989,7 @@ def _backend_sequential(spec: SearchSpec, algorithm: AlgorithmEntry, ctx: RunCon
     description="paper's root/median/dispatcher/client architecture on the discrete-event kernel",
     algorithms=("nmcs",),
     needs_cluster=True,
+    params=("lm_fifo_jobs",),
 )
 def _backend_sim_cluster(spec: SearchSpec, algorithm: AlgorithmEntry, ctx: RunContext) -> RunReport:
     from repro.analysis.commpattern import analyze_communications
@@ -706,6 +1031,7 @@ def _backend_sim_cluster(spec: SearchSpec, algorithm: AlgorithmEntry, ctx: RunCo
     "multiprocessing",
     description="real root-level fan-out on a local process pool (GIL-free)",
     algorithms=("nmcs",),
+    params=("start_method",),
 )
 def _backend_multiprocessing(
     spec: SearchSpec, algorithm: AlgorithmEntry, ctx: RunContext

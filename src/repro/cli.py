@@ -7,9 +7,10 @@ utilities (sequential searches, workload listing, the record hunt).
 
 Examples
 --------
-List the available workloads, algorithms and backends::
+List the registered algorithms, backends and workloads (descriptions,
+declared params)::
 
-    python -m repro workloads
+    python -m repro list
 
 Run any algorithm × backend combination from one declarative spec::
 
@@ -17,6 +18,11 @@ Run any algorithm × backend combination from one declarative spec::
         --dispatcher lm --clients 8 --first-move --json
 
     python -m repro run --spec my_scenario.json
+
+Run a declarative sweep grid against a durable, resumable result store
+(re-running skips completed cells; an interrupted sweep resumes)::
+
+    python -m repro sweep --spec sweep.json --store results/store
 
 Regenerate Table II (Round-Robin, first move) at the default scale::
 
@@ -38,8 +44,17 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.analysis.tables import Table, pivot_table
 from repro.analysis.timefmt import format_hms
-from repro.api import Engine, SearchSpec, list_algorithms, list_backends, to_jsonable
+from repro.api import (
+    ALGORITHMS,
+    BACKENDS,
+    Engine,
+    SearchSpec,
+    list_algorithms,
+    list_backends,
+    to_jsonable,
+)
 from repro.experiments import (
     DEFAULT_CLIENT_COUNTS,
     run_client_sweep,
@@ -47,6 +62,14 @@ from repro.experiments import (
     run_figure_communications,
     run_table1_sequential,
     run_table6_heterogeneous,
+)
+from repro.lab import (
+    ROW_FIELDS,
+    ResultStore,
+    SweepSpec,
+    rows_from_reports,
+    write_csv,
+    write_json,
 )
 from repro.games.morpion.render import render_state
 from repro.games.morpion.state import MorpionState
@@ -102,6 +125,43 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEY=VALUE",
         help="algorithm-specific parameter (repeatable); values are parsed as JSON when possible",
     )
+    add_json(p)
+
+    p = sub.add_parser(
+        "sweep", help="run a declarative SweepSpec grid with a durable, resumable store (repro.lab)"
+    )
+    p.add_argument(
+        "--spec", required=True, help="path to a SweepSpec JSON file, or an inline JSON object"
+    )
+    p.add_argument(
+        "--store",
+        default=None,
+        help="ResultStore directory: completed cells are skipped on re-runs (resume for free)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already in the store (the default whenever --store is given)",
+    )
+    p.add_argument(
+        "--force",
+        action="store_true",
+        help="re-execute every cell, overwriting existing store entries",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None, help="run independent cells on a thread pool this size"
+    )
+    p.add_argument(
+        "--error-policy",
+        choices=("raise", "skip"),
+        default="raise",
+        help="stop on the first failing cell (raise) or keep sweeping (skip)",
+    )
+    p.add_argument("--csv", default=None, help="write the result rows as CSV to this path")
+    p.add_argument("--rows", default=None, help="write the result rows as a JSON array to this path")
+    add_json(p)
+
+    p = sub.add_parser("list", help="list registered algorithms, backends and workloads")
     add_json(p)
 
     p = sub.add_parser("nmcs", help="run a sequential Nested Monte-Carlo Search")
@@ -214,6 +274,140 @@ def _spec_from_args(args: argparse.Namespace) -> SearchSpec:
     return SearchSpec(**overrides)
 
 
+def _cell_label(coords: "dict[str, Any]") -> str:
+    """Human-readable grid coordinates of one sweep cell."""
+    return " ".join(f"{axis}={value}" for axis, value in coords.items()) or "(base)"
+
+
+def _render_sweep(sweep: SweepSpec, labelled_rows: List[tuple]) -> str:
+    """Render sweep rows: paper-style pivot for 2-axis grids, a listing otherwise."""
+    axes = list(sweep.axes)
+    rows = [row for _, row in labelled_rows]
+    if (
+        len(axes) == 2
+        and sweep.repeats == 1
+        and all(axis in ROW_FIELDS for axis in axes)
+        and all(row.get("simulated_seconds") is not None for row in rows)
+    ):
+        return pivot_table(
+            rows,
+            title=f"Sweep {sweep.name!r} — simulated time by {axes[0]} × {axes[1]}",
+            index=axes[0],
+            column=axes[1],
+            value="simulated_seconds",
+            fmt=format_hms,
+            column_fmt=lambda value: f"{axes[1]} {value}",
+        ).render()
+    table = Table(
+        title=f"Sweep {sweep.name!r} — {len(rows)} result(s)",
+        columns=["score", "simulated", "wall"],
+        row_label="cell",
+    )
+    for label, row in labelled_rows:
+        table.add_row(
+            label,
+            score=f"{row['score']:g}",
+            simulated=(
+                format_hms(row["simulated_seconds"])
+                if row.get("simulated_seconds") is not None
+                else "—"
+            ),
+            wall=f"{row['wall_seconds']:.2f}s",
+        )
+    return table.render()
+
+
+def _run_sweep_command(args: argparse.Namespace) -> int:
+    """The ``repro sweep`` command: execute a SweepSpec against a ResultStore."""
+    if args.force and args.resume:
+        _print_error("error: --force and --resume are mutually exclusive")
+        return 2
+    try:
+        text = args.spec
+        if not text.lstrip().startswith("{"):
+            text = Path(args.spec).read_text(encoding="utf-8")
+        sweep = SweepSpec.from_json(text)
+    except (ValueError, KeyError, OSError) as exc:
+        _print_error(f"error: {exc}")
+        return 2
+    store = ResultStore(args.store) if args.store else None
+    if args.resume and store is None:
+        _print_error("error: --resume needs --store (there is nothing to resume from)")
+        return 2
+    engine = Engine()
+    counts = {"started": 0, "cached": 0, "completed": 0, "failed": 0}
+    reports: Dict[int, Any] = {}
+    labels = {cell.index: _cell_label(dict(cell.coords)) for cell in sweep.cells()}
+    try:
+        for event in engine.stream(
+            sweep,
+            store=store,
+            error_policy=args.error_policy,
+            max_workers=args.workers,
+            refresh=args.force,
+        ):
+            counts[event.kind] += 1
+            if event.report is not None:
+                reports[event.index] = event.report
+            # Progress goes to stderr so --json pipelines only ever see the payload.
+            if event.kind == "started":
+                _print_error(f"[{event.done + 1}/{event.total}] running   {labels[event.index]}")
+            elif event.kind == "failed":
+                _print_error(
+                    f"[{event.done}/{event.total}] FAILED    {labels[event.index]}: {event.error}"
+                )
+            else:
+                suffix = " (cached)" if event.kind == "cached" else ""
+                _print_error(
+                    f"[{event.done}/{event.total}] done      {labels[event.index]} "
+                    f"score={event.report.score:g}{suffix}"
+                )
+    except KeyboardInterrupt:
+        done = counts["cached"] + counts["completed"]
+        if store is not None:
+            _print_error(
+                f"interrupted after {done}/{len(sweep)} cells; re-run the same command "
+                f"to resume from {args.store}"
+            )
+        else:
+            _print_error(
+                f"interrupted after {done}/{len(sweep)} cells; pass --store to make "
+                "sweeps resumable"
+            )
+        return 130
+    except (ValueError, KeyError, OSError) as exc:
+        _print_error(f"error: {exc}")
+        return 2
+    ordered = [reports[index] for index in sorted(reports)]
+    rows = rows_from_reports(ordered, store=store)
+    labelled_rows = list(zip((labels[index] for index in sorted(reports)), rows))
+    if args.csv:
+        write_csv(rows, args.csv)
+        _print_error(f"wrote {len(rows)} row(s) to {args.csv}")
+    if args.rows:
+        write_json(rows, args.rows)
+        _print_error(f"wrote {len(rows)} row(s) to {args.rows}")
+    if args.json:
+        _print_json(
+            {
+                "name": sweep.name,
+                "cells": len(sweep),
+                "executed": counts["completed"],
+                "cached": counts["cached"],
+                "failed": counts["failed"],
+                "store": args.store,
+                "rows": rows,
+            }
+        )
+    else:
+        _print(_render_sweep(sweep, labelled_rows))
+        _print(
+            f"\ncells: {len(sweep)}  executed: {counts['completed']}  "
+            f"cached: {counts['cached']}  failed: {counts['failed']}"
+        )
+    return 1 if counts["failed"] else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro`` (returns a process exit code)."""
     parser = build_parser()
@@ -263,6 +457,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if report.n_jobs is not None:
             _print(f"jobs: {report.n_jobs}")
         return 0
+
+    if args.command == "list":
+        algorithms = {
+            name: {
+                "description": entry.description,
+                "params": None if entry.params is None else sorted(entry.params),
+                "supports_budget": entry.supports_budget,
+            }
+            for name, entry in sorted(ALGORITHMS.items())
+        }
+        backends = {
+            name: {
+                "description": entry.description,
+                "algorithms": None if entry.algorithms is None else sorted(entry.algorithms),
+                "params": None if entry.params is None else sorted(entry.params),
+            }
+            for name, entry in sorted(BACKENDS.items())
+        }
+        if args.json:
+            _print_json(
+                {"algorithms": algorithms, "backends": backends, "workloads": list_workloads()}
+            )
+            return 0
+        _print("Algorithms:")
+        for name, info in algorithms.items():
+            params = "any" if info["params"] is None else ", ".join(info["params"]) or "none"
+            _print(f"  {name:16s} {info['description']} [params: {params}]")
+        _print("\nBackends:")
+        for name, info in backends.items():
+            runs = "all algorithms" if info["algorithms"] is None else ", ".join(info["algorithms"])
+            extras = "" if not info["params"] else f"; params: {', '.join(info['params'])}"
+            _print(f"  {name:16s} {info['description']} [runs: {runs}{extras}]")
+        _print("\nWorkloads:")
+        for name, description in list_workloads().items():
+            _print(f"  {name:16s} {description}")
+        return 0
+
+    if args.command == "sweep":
+        return _run_sweep_command(args)
 
     if args.command == "nmcs":
         workload = get_workload(args.workload)

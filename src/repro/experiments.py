@@ -25,7 +25,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.speedup import speedup, speedup_table
 from repro.analysis.stats import Summary, summarize
-from repro.analysis.tables import Table
+from repro.analysis.tables import Table, pivot_table
 from repro.analysis.timefmt import format_hms
 from repro.analysis.commpattern import CommunicationSummary, analyze_communications, verify_pattern
 from repro.api import Engine, RunReport, SearchSpec, to_jsonable
@@ -34,16 +34,20 @@ from repro.cluster.topology import ClusterSpec
 from repro.games.base import GameState
 from repro.games.morpion.render import render_state
 from repro.games.morpion.state import MorpionState
+from repro.lab.export import rows_from_reports
+from repro.lab.store import ResultStore
+from repro.lab.sweep import SweepSpec
 from repro.parallel.config import DispatcherKind
 from repro.parallel.jobs import CachingJobExecutor, JobExecutor
 from repro.timemodel.cost import CostModel
-from repro.workloads import Workload, get_workload
+from repro.workloads import WORKLOADS, Workload, get_workload
 
 __all__ = [
     "ExperimentResult",
     "SweepResult",
     "calibrated_cost_model",
     "run_table1_sequential",
+    "client_sweep_spec",
     "run_client_sweep",
     "run_table6_heterogeneous",
     "run_figure_communications",
@@ -56,6 +60,24 @@ DEFAULT_CLIENT_COUNTS: Tuple[int, ...] = (1, 4, 8, 16, 32, 64)
 
 #: The paper's sequential level-3 first-move time (Table I): 8m03s on 1.86 GHz.
 _PAPER_LEVEL3_FIRST_MOVE_SECONDS = 483.0
+
+
+def _registered_workload(workload: "Workload | str") -> Workload:
+    """Resolve a workload for a sweep, requiring it to be registry-backed.
+
+    Sweep cells resolve their state by *name* (specs are serialisable, game
+    states are not), so an unregistered ``Workload`` object would only fail
+    mid-sweep with an opaque lookup error; reject it upfront instead.
+    """
+    if isinstance(workload, str):
+        return get_workload(workload)
+    if WORKLOADS.get(workload.name) is not workload:
+        raise ValueError(
+            f"sweeps resolve workloads by name, and {workload.name!r} is not the "
+            "registered workload of that name; add it to repro.workloads.WORKLOADS "
+            "(or run the cells individually via Engine.run(spec, state=...))"
+        )
+    return workload
 
 
 def calibrated_cost_model(
@@ -173,6 +195,49 @@ def run_table1_sequential(
 # --------------------------------------------------------------------------- #
 # Tables II–V — client-count sweeps
 # --------------------------------------------------------------------------- #
+def client_sweep_spec(
+    dispatcher: "DispatcherKind | str",
+    experiment: str = "first_move",
+    workload: "Workload | str" = "morpion-bench",
+    levels: Optional[Sequence[int]] = None,
+    client_counts: Sequence[int] = DEFAULT_CLIENT_COUNTS,
+    master_seed: int = 0,
+    n_medians: int = 40,
+    use_paper_mix: bool = True,
+) -> SweepSpec:
+    """The declarative :class:`SweepSpec` behind Tables II–V.
+
+    ``experiment`` is ``"first_move"`` (Tables II / IV) or ``"rollout"``
+    (Tables III / V).  The grid iterates clients (descending, as the paper's
+    tables are printed) × level, all cells sharing the master seed so the
+    engine's job cache executes each search job exactly once.
+    """
+    if experiment not in ("first_move", "rollout"):
+        raise ValueError(
+            f"unknown experiment {experiment!r}; valid values: 'first_move' (Tables II/IV), "
+            "'rollout' (Tables III/V)"
+        )
+    dispatcher = DispatcherKind.parse(dispatcher)
+    wl = _registered_workload(workload)
+    levels = list(levels) if levels is not None else [wl.low_level, wl.high_level]
+    return SweepSpec(
+        base=SearchSpec(
+            workload=wl.name,
+            backend="sim-cluster",
+            dispatcher=dispatcher.value,
+            cluster="paper-mix" if use_paper_mix else "homogeneous",
+            n_medians=n_medians,
+            seed=master_seed,
+            max_steps=1 if experiment == "first_move" else None,
+        ),
+        axes={
+            "n_clients": tuple(sorted(client_counts, reverse=True)),
+            "level": tuple(levels),
+        },
+        name=f"{dispatcher.value}-{experiment}",
+    )
+
+
 def run_client_sweep(
     dispatcher: "DispatcherKind | str",
     experiment: str = "first_move",
@@ -186,55 +251,53 @@ def run_client_sweep(
     n_medians: int = 40,
     use_paper_mix: bool = True,
     title: Optional[str] = None,
+    store: Optional[ResultStore] = None,
 ) -> SweepResult:
     """Tables II–V: parallel times for a sweep of client counts.
 
-    ``experiment`` is ``"first_move"`` (Tables II / IV) or ``"rollout"``
-    (Tables III / V).  Passing a shared :class:`CachingJobExecutor` makes the
-    whole sweep execute each search job exactly once.
+    Builds the :func:`client_sweep_spec` grid and executes it through the
+    engine's batch layer.  Passing a shared :class:`CachingJobExecutor`
+    makes the whole sweep execute each search job exactly once; passing a
+    :class:`~repro.lab.store.ResultStore` additionally makes the sweep
+    durable — cells already in the store are not re-executed, and an
+    interrupted sweep resumes from where it stopped.
     """
-    if experiment not in ("first_move", "rollout"):
-        raise ValueError(
-            f"unknown experiment {experiment!r}; valid values: 'first_move' (Tables II/IV), "
-            "'rollout' (Tables III/V)"
-        )
+    sweep = client_sweep_spec(
+        dispatcher,
+        experiment=experiment,
+        workload=workload,
+        levels=levels,
+        client_counts=client_counts,
+        master_seed=master_seed,
+        n_medians=n_medians,
+        use_paper_mix=use_paper_mix,
+    )
     dispatcher = DispatcherKind.parse(dispatcher)
-    wl = get_workload(workload) if isinstance(workload, str) else workload
-    levels = list(levels) if levels is not None else [wl.low_level, wl.high_level]
+    levels = list(sweep.axes["level"])
     engine = Engine(
         executor=executor if executor is not None else CachingJobExecutor(),
         cost_model=cost_model,
         network=network,
     )
-    base = SearchSpec(
-        workload=wl.name,
-        backend="sim-cluster",
-        dispatcher=dispatcher.value,
-        cluster="paper-mix" if use_paper_mix else "homogeneous",
-        n_medians=n_medians,
-        seed=master_seed,
-        max_steps=1 if experiment == "first_move" else None,
-    )
+    reports = engine.run_many(sweep, store=store)
 
     name = "Round-Robin" if dispatcher is DispatcherKind.ROUND_ROBIN else "Last-Minute"
     what = "First move" if experiment == "first_move" else "Rollout"
-    table = Table(
+    table = pivot_table(
+        rows_from_reports(reports),
         title=title or f"{what} times for the {name} algorithm",
-        columns=[f"level {lvl}" for lvl in levels],
+        index="n_clients",
+        column="level",
+        value="simulated_seconds",
         row_label="clients",
+        fmt=format_hms,
+        column_fmt=lambda level: f"level {level}",
     )
     times: Dict[int, Dict[int, float]] = {lvl: {} for lvl in levels}
     scores: Dict[int, float] = {}
-    for clients in sorted(client_counts, reverse=True):
-        cells = {}
-        for level in levels:
-            run = engine.run(
-                base.replace(level=level, n_clients=clients), state=wl.state()
-            )
-            times[level][clients] = run.simulated_seconds
-            scores[level] = run.score
-            cells[f"level {level}"] = format_hms(run.simulated_seconds)
-        table.add_row(str(clients), **cells)
+    for run in reports:
+        times[run.level][run.spec.n_clients] = run.simulated_seconds
+        scores[run.level] = run.score
     speedups = {
         level: speedup_table(times[level]) if 1 in times[level] else {}
         for level in levels
@@ -259,44 +322,61 @@ def run_table6_heterogeneous(
     cost_model: Optional[CostModel] = None,
     network: Optional[NetworkModel] = None,
     n_medians: int = 40,
+    store: Optional[ResultStore] = None,
 ) -> ExperimentResult:
     """Table VI: first-move times of LM vs RR on oversubscribed heterogeneous clusters.
 
     Each configuration ``(label, n_over, n_reg)`` builds ``n_over`` dual-core
     PCs running 4 clients each plus ``n_reg`` PCs running 2 clients each.
+    The whole table is one declarative :class:`SweepSpec` (cluster ×
+    dispatcher × level) run through the engine's batch layer; a
+    :class:`~repro.lab.store.ResultStore` makes it durable and resumable.
     """
-    wl = get_workload(workload) if isinstance(workload, str) else workload
+    wl = _registered_workload(workload)
     levels = list(levels) if levels is not None else [wl.low_level, wl.high_level]
     engine = Engine(
         executor=executor if executor is not None else CachingJobExecutor(),
         cost_model=cost_model,
         network=network,
     )
+    descriptors = {
+        label: f"heterogeneous:{n_over}x4+{n_reg}x2" for label, n_over, n_reg in configurations
+    }
+    sweep = SweepSpec(
+        base=SearchSpec(
+            workload=wl.name,
+            backend="sim-cluster",
+            n_medians=n_medians,
+            seed=master_seed,
+            max_steps=1,
+        ),
+        axes={
+            # fromkeys dedupes: two labels naming the same repartition share cells
+            "cluster": tuple(dict.fromkeys(descriptors.values())),
+            "dispatcher": (DispatcherKind.LAST_MINUTE.value, DispatcherKind.ROUND_ROBIN.value),
+            "level": tuple(levels),
+        },
+        name="table6-heterogeneous",
+    )
+    reports = engine.run_many(sweep, store=store)
+
     table = Table(
         title="Table VI — first move times on an heterogeneous cluster",
         columns=["alg"] + [f"level {lvl}" for lvl in levels],
         row_label="clients",
     )
+    by_cell: Dict[Tuple[str, str], Dict[int, float]] = {}
+    for run in reports:
+        alg = "LM" if run.spec.dispatcher == DispatcherKind.LAST_MINUTE.value else "RR"
+        by_cell.setdefault((run.spec.cluster, alg), {})[run.level] = run.simulated_seconds
     data: Dict[Tuple[str, str], Dict[int, float]] = {}
-    for label, n_over, n_reg in configurations:
-        base = SearchSpec(
-            workload=wl.name,
-            backend="sim-cluster",
-            cluster=f"heterogeneous:{n_over}x4+{n_reg}x2",
-            n_medians=n_medians,
-            seed=master_seed,
-            max_steps=1,
-        )
-        for alg, kind in (("LM", DispatcherKind.LAST_MINUTE), ("RR", DispatcherKind.ROUND_ROBIN)):
-            cells = {"alg": alg}
-            entry: Dict[int, float] = {}
-            for level in levels:
-                run = engine.run(
-                    base.replace(level=level, dispatcher=kind.value), state=wl.state()
-                )
-                entry[level] = run.simulated_seconds
-                cells[f"level {level}"] = format_hms(run.simulated_seconds)
+    for label, _, _ in configurations:
+        for alg in ("LM", "RR"):
+            entry = by_cell[(descriptors[label], alg)]
             data[(label, alg)] = entry
+            cells = {"alg": alg}
+            for level in levels:
+                cells[f"level {level}"] = format_hms(entry[level])
             table.add_row(label, **cells)
     advantages = {}
     for label, _, _ in configurations:

@@ -1,0 +1,57 @@
+"""Content-addressed keys for search scenarios.
+
+A :class:`~repro.api.SearchSpec` is a complete, JSON-round-trippable
+description of one search, and every search in this library is deterministic
+given its spec.  That makes a spec's canonical JSON form a perfect content
+address for its result: :func:`spec_key` hashes the canonical encoding
+together with a *code-version salt*, and :class:`repro.lab.store.ResultStore`
+uses the digest as the on-disk filename.
+
+The salt (:data:`CODE_VERSION`) exists because determinism is a property of
+the *code*, not just the spec: a change to playout order, seed derivation or
+the cost model changes what a spec evaluates to without changing the spec.
+Bump :data:`CODE_VERSION` whenever search semantics change and every store
+key rolls over, so stale results are never silently reused.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api imports lab)
+    from repro.api import SearchSpec
+
+__all__ = ["CODE_VERSION", "canonical_payload", "spec_key"]
+
+#: Salt mixed into every spec key.  Bump when search semantics change
+#: (seed derivation, playout order, cost model, dispatcher behaviour, ...);
+#: all content addresses roll over and stores refuse to reuse stale results.
+CODE_VERSION = "repro-lab-1"
+
+
+def canonical_payload(spec: "SearchSpec") -> str:
+    """The canonical JSON encoding of a spec (sorted keys, no whitespace).
+
+    Raises ``TypeError`` when the spec carries params with no JSON form —
+    such specs cannot be content-addressed (or stored) at all, which is the
+    honest failure mode: a key that silently ignored un-encodable params
+    would alias distinct scenarios.
+    """
+    return json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def spec_key(spec: "SearchSpec", *, salt: str = CODE_VERSION) -> str:
+    """Stable 160-bit hex content address of ``spec`` under ``salt``.
+
+    The digest is independent of Python hash randomisation, process, platform
+    and dict insertion order (BLAKE2b over the canonical JSON payload), so
+    keys computed in different processes — or different machines sharing a
+    store — always agree.
+    """
+    h = hashlib.blake2b(digest_size=20)
+    h.update(salt.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(canonical_payload(spec).encode("utf-8"))
+    return h.hexdigest()

@@ -1,0 +1,180 @@
+"""Content-addressed on-disk store of search results.
+
+A :class:`ResultStore` maps :class:`~repro.api.SearchSpec`\\ s to their
+:class:`~repro.api.RunReport`\\ s through :func:`repro.lab.keys.spec_key`:
+the canonical hash of a spec (+ the code-version salt) names a JSON record
+on disk.  Because the key is derived from *content*, not from when or where
+a run happened, the store gives sweeps two properties for free:
+
+* **skip** — re-running a sweep against a populated store executes zero new
+  searches (every cell resolves to an existing record);
+* **resume** — an interrupted sweep picks up where it stopped, completing
+  only the missing cells, with no bookkeeping beyond the records themselves.
+
+Layout: ``<root>/ab/<full-40-hex-key>.json`` (two-character fan-out so a
+directory never accumulates every record).  Records are written atomically
+(temp file + ``os.replace``), so a killed run never leaves a half-written
+record to poison a resume.
+
+A record keeps the spec, the report's serialised form and provenance
+(salt, creation time, library version).  Reports loaded back carry rendered
+move strings rather than live ``Move`` objects — scores, times and counters
+round-trip exactly; callers that need replayable sequences re-run without a
+store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.api import RunReport, SearchSpec
+from repro.lab.keys import CODE_VERSION, spec_key
+
+__all__ = ["ResultStore", "StoreRecord"]
+
+#: A stored record: ``{"key", "salt", "created_at", "spec", "report"}``.
+StoreRecord = Dict[str, Any]
+
+
+class ResultStore:
+    """A content-addressed, process-safe store of run reports.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the records (created on first write).
+    salt:
+        Key salt; defaults to :data:`repro.lab.keys.CODE_VERSION`.  Callers
+        running a non-default engine environment (custom network model, ...)
+        should extend the salt so those results never alias default ones.
+    """
+
+    def __init__(self, root: Union[str, Path], *, salt: str = CODE_VERSION) -> None:
+        self.root = Path(root)
+        self.salt = salt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.root)!r}, salt={self.salt!r})"
+
+    # ------------------------------------------------------------------ #
+    # Keys and paths
+    # ------------------------------------------------------------------ #
+    def key(self, spec: SearchSpec) -> str:
+        """The content address of ``spec`` under this store's salt."""
+        return spec_key(spec, salt=self.salt)
+
+    def path_for(self, key: str) -> Path:
+        """Where the record for ``key`` lives (whether or not it exists)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------ #
+    # Read side
+    # ------------------------------------------------------------------ #
+    def __contains__(self, spec: SearchSpec) -> bool:
+        return self.path_for(self.key(spec)).is_file()
+
+    def load(self, key: str) -> Optional[StoreRecord]:
+        """The raw record for ``key``, or ``None`` when absent."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+
+    def get(self, spec: SearchSpec) -> Optional[RunReport]:
+        """The stored report for ``spec``, or ``None`` when absent."""
+        record = self.load(self.key(spec))
+        if record is None:
+            return None
+        return self._report_from_record(record)
+
+    def keys(self) -> Iterator[str]:
+        """All record keys currently in the store (any order)."""
+        if not self.root.is_dir():
+            return
+        for path in self.root.glob("??/*.json"):
+            yield path.stem
+
+    def records(self) -> Iterator[StoreRecord]:
+        """All records currently in the store (any order)."""
+        for key in self.keys():
+            record = self.load(key)
+            if record is not None:
+                yield record
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    # ------------------------------------------------------------------ #
+    # Write side
+    # ------------------------------------------------------------------ #
+    def put(self, spec: SearchSpec, report: RunReport) -> str:
+        """Persist ``report`` under ``spec``'s key (atomically); returns the key.
+
+        An existing record for the same key is replaced — by construction it
+        describes the same computation under the same code version, so the
+        replacement is a no-op apart from provenance timestamps.
+        """
+        from repro import __version__
+
+        key = self.key(spec)
+        record: StoreRecord = {
+            "key": key,
+            "salt": self.salt,
+            "created_at": time.time(),
+            "library_version": __version__,
+            "spec": spec.to_dict(),
+            "report": report.to_dict(),
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(record, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return key
+
+    def discard(self, spec: SearchSpec) -> bool:
+        """Remove the record for ``spec``; returns whether one existed."""
+        path = self.path_for(self.key(spec))
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    # ------------------------------------------------------------------ #
+    # Record decoding
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _report_from_record(record: StoreRecord) -> RunReport:
+        data = record["report"]
+        return RunReport(
+            spec=SearchSpec.from_dict(record["spec"]),
+            algorithm=data["algorithm"],
+            backend=data["backend"],
+            level=data["level"],
+            score=data["score"],
+            sequence=tuple(data.get("sequence", ())),
+            work_units=data.get("work_units"),
+            simulated_seconds=data.get("simulated_seconds"),
+            wall_seconds=data.get("wall_seconds", 0.0),
+            n_jobs=data.get("n_jobs"),
+            n_workers=data.get("n_workers"),
+            comm=data.get("comm"),
+            client_utilisation=data.get("client_utilisation"),
+            raw=record,
+        )

@@ -201,6 +201,11 @@ class TestEngine:
 
     def test_every_algorithm_backend_pair(self, engine):
         """Every registered algorithm × backend pair either runs or refuses clearly."""
+        algorithm_params = {
+            "flat": {"playouts_per_move": 1},
+            "iterated": {"restarts": 2},
+            "nrpa": {"iterations": 2},
+        }
         for algorithm, backend in itertools.product(ALGORITHMS, BACKENDS):
             entry = BACKENDS[backend]
             level = 2 if backend == "sim-cluster" else 1
@@ -213,7 +218,7 @@ class TestEngine:
                 max_steps=1 if ALGORITHMS[algorithm].supports_budget else None,
                 n_clients=2,
                 n_workers=2,
-                params={"iterations": 2, "restarts": 2, "playouts_per_move": 1},
+                params=algorithm_params.get(algorithm, {}),
             )
             if entry.supports(algorithm):
                 report = engine.run(spec)
@@ -275,6 +280,61 @@ class TestEngine:
         assert morpion.score == 12.0
         assert left.score > 0
         assert morpion.sequence != left.sequence
+
+    def test_unknown_params_rejected_loudly(self, engine):
+        """A typo like 'playout_per_move' fails instead of being silently ignored."""
+        with pytest.raises(ValueError, match="playout_per_move.*accepted params"):
+            engine.run(
+                SearchSpec(
+                    workload="leftmove",
+                    algorithm="flat",
+                    level=1,
+                    params={"playout_per_move": 4},
+                )
+            )
+        # Algorithms accepting no params say so.
+        with pytest.raises(ValueError, match=r"accepted params: \(none\)"):
+            engine.run(SearchSpec(workload="leftmove", level=1, params={"bogus": 1}))
+
+    def test_backend_params_accepted_alongside_algorithm_params(self, engine):
+        """Substrate-level params (lm_fifo_jobs, ...) pass validation on their backend."""
+        report = engine.run(
+            SearchSpec(
+                workload="leftmove",
+                backend="sim-cluster",
+                dispatcher="lm",
+                level=2,
+                max_steps=1,
+                n_clients=2,
+                params={"lm_fifo_jobs": True},
+            )
+        )
+        assert report.score > 0
+        # ... but not on a backend that does not read them.
+        with pytest.raises(ValueError, match="lm_fifo_jobs"):
+            engine.run(
+                SearchSpec(workload="leftmove", level=1, params={"lm_fifo_jobs": True})
+            )
+
+    def test_algorithm_can_opt_out_of_param_validation(self):
+        @register_algorithm("test-anyparams", params=None)
+        def _any(state, level, seeds, counter, budget, params):
+            from repro.core.sample import sample
+
+            return sample(state, seeds=seeds, counter=counter)
+
+        try:
+            report = Engine().run(
+                SearchSpec(
+                    workload="leftmove",
+                    algorithm="test-anyparams",
+                    level=0,
+                    params={"anything": "goes"},
+                )
+            )
+            assert report.score > 0
+        finally:
+            del ALGORITHMS["test-anyparams"]
 
     def test_budgetless_algorithms_reject_max_steps(self, engine):
         for algorithm in ("nrpa", "iterated", "sample"):

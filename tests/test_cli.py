@@ -160,6 +160,89 @@ class TestRunCommand:
         assert "KEY=VALUE" in capsys.readouterr().err
 
 
+class TestListCommand:
+    def test_list_enumerates_registries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Algorithms:" in out and "Backends:" in out and "Workloads:" in out
+        assert "nrpa" in out and "sim-cluster" in out and "morpion-bench" in out
+        assert "alpha, iterations" in out  # declared params are shown
+
+    def test_list_json(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithms"]["nrpa"]["params"] == ["alpha", "iterations"]
+        assert payload["backends"]["sim-cluster"]["algorithms"] == ["nmcs"]
+        assert payload["backends"]["sim-cluster"]["params"] == ["lm_fifo_jobs"]
+        assert "leftmove" in payload["workloads"]
+
+
+SWEEP_DOC = {
+    "name": "cli-test",
+    "base": {"workload": "leftmove", "backend": "sim-cluster", "level": 2, "max_steps": 1},
+    "axes": {"n_clients": [2, 1], "level": [2]},
+}
+
+
+class TestSweepCommand:
+    def test_sweep_runs_and_renders(self, tmp_path, capsys):
+        spec_file = tmp_path / "sweep.json"
+        spec_file.write_text(json.dumps(SWEEP_DOC), encoding="utf-8")
+        assert main(["sweep", "--spec", str(spec_file)]) == 0
+        captured = capsys.readouterr()
+        assert "cli-test" in captured.out
+        assert "executed: 2" in captured.out
+        assert "running" in captured.err  # progress stays on stderr
+
+    def test_sweep_store_resume_and_exports(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        argv = ["sweep", "--spec", json.dumps(SWEEP_DOC), "--store", str(store), "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["executed"] == 2 and first["cached"] == 0
+        csv_path = tmp_path / "rows.csv"
+        assert main(argv + ["--csv", str(csv_path)]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["executed"] == 0 and second["cached"] == 2  # resumed for free
+        assert [row["n_clients"] for row in second["rows"]] == [2, 1]
+        assert csv_path.read_text().startswith("key,workload,")
+
+    def test_sweep_force_reexecutes(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        argv = ["sweep", "--spec", json.dumps(SWEEP_DOC), "--store", str(store), "--json"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--force"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["executed"] == 2 and payload["cached"] == 0
+
+    def test_sweep_error_policy_skip_exits_nonzero(self, capsys):
+        doc = {
+            "base": {"workload": "leftmove", "backend": "sim-cluster", "max_steps": 1},
+            "axes": {"level": [1, 2]},  # level 1 is invalid for sim-cluster
+        }
+        assert main(["sweep", "--spec", json.dumps(doc), "--error-policy", "skip", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] == 1 and payload["executed"] == 1
+
+    def test_sweep_rejects_bad_documents_and_flags(self, tmp_path, capsys):
+        assert main(["sweep", "--spec", '{"axes": {"bogus": [1]}}']) == 2
+        assert "unknown sweep axis" in capsys.readouterr().err
+        assert main(["sweep", "--spec", "{}", "--resume"]) == 2
+        assert "--store" in capsys.readouterr().err
+        assert (
+            main(["sweep", "--spec", "{}", "--force", "--resume", "--store", str(tmp_path)]) == 2
+        )
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_sweep_workers_pool(self, tmp_path, capsys):
+        argv = ["sweep", "--spec", json.dumps(SWEEP_DOC), "--workers", "2", "--json"]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["executed"] == 2
+        assert [row["n_clients"] for row in payload["rows"]] == [2, 1]  # cell order kept
+
+
 class TestJsonOutput:
     """Every table/figure command emits machine-readable output with --json."""
 

@@ -1,0 +1,342 @@
+"""Tests for repro.lab: SweepSpec, ResultStore, and the Engine batch layer."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.api import ALGORITHMS, Engine, RunEvent, SearchSpec, register_algorithm
+from repro.lab import (
+    CODE_VERSION,
+    ResultStore,
+    SweepSpec,
+    rows_from_reports,
+    rows_from_store,
+    spec_key,
+    write_csv,
+    write_json,
+)
+from repro.analysis.tables import pivot_table
+
+
+BASE = SearchSpec(workload="leftmove", level=1, max_steps=1)
+SIM = SearchSpec(workload="leftmove", backend="sim-cluster", level=2, max_steps=1)
+
+
+class TestSweepSpec:
+    def test_expansion_is_deterministic(self):
+        sweep = SweepSpec(base=SIM, axes={"n_clients": (4, 1), "level": (2, 3)})
+        first = [(c.index, dict(c.coords), c.spec) for c in sweep.cells()]
+        second = [(c.index, dict(c.coords), c.spec) for c in sweep.cells()]
+        assert first == second
+        assert len(sweep) == 4
+        # First axis varies slowest, exactly in the order given.
+        assert [c[1] for c in first] == [
+            {"n_clients": 4, "level": 2},
+            {"n_clients": 4, "level": 3},
+            {"n_clients": 1, "level": 2},
+            {"n_clients": 1, "level": 3},
+        ]
+        assert first[0][2] == SIM.replace(n_clients=4, level=2)
+
+    def test_json_round_trip(self):
+        sweep = SweepSpec(
+            base=SIM,
+            axes={"dispatcher": ("rr", "lm"), "n_clients": (1, 4)},
+            name="tables",
+            repeats=2,
+        )
+        restored = SweepSpec.from_json(sweep.to_json(indent=2))
+        assert restored == sweep
+        assert restored.specs() == sweep.specs()
+        json.loads(sweep.to_json())  # genuinely valid JSON
+
+    def test_param_axes(self):
+        sweep = SweepSpec(
+            base=BASE.replace(algorithm="nrpa", max_steps=None),
+            axes={"params.iterations": (1, 2)},
+        )
+        specs = sweep.specs()
+        assert [s.params["iterations"] for s in specs] == [1, 2]
+
+    def test_repeats_derive_distinct_deterministic_seeds(self):
+        sweep = SweepSpec(base=BASE, axes={"level": (1,)}, repeats=3)
+        seeds = [cell.spec.seed for cell in sweep.cells()]
+        assert len(set(seeds)) == 3
+        assert seeds == [cell.spec.seed for cell in sweep.cells()]
+        # Without repeats every cell keeps the base seed (comparable scores).
+        flat = SweepSpec(base=BASE, axes={"level": (1, 2)})
+        assert {cell.spec.seed for cell in flat.cells()} == {BASE.seed}
+
+    def test_rejects_unknown_axis_and_bad_values(self):
+        with pytest.raises(ValueError, match="unknown sweep axis"):
+            SweepSpec(base=BASE, axes={"clients": (1, 2)})
+        with pytest.raises(ValueError, match="params.<name>"):
+            SweepSpec(base=BASE, axes={"params": ({"a": 1},)})
+        with pytest.raises(ValueError, match="no values"):
+            SweepSpec(base=BASE, axes={"level": ()})
+        with pytest.raises(ValueError, match="sequence of values"):
+            SweepSpec(base=BASE, axes={"dispatcher": "rr"})
+        # Axis values hit SearchSpec validation at construction, not mid-sweep.
+        with pytest.raises(ValueError, match="n_clients"):
+            SweepSpec(base=BASE, axes={"n_clients": (1, -2)})
+        with pytest.raises(ValueError, match="seed"):
+            SweepSpec(base=BASE, axes={"seed": (0, 1)}, repeats=2)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown SweepSpec fields: bogus"):
+            SweepSpec.from_dict({"base": {}, "bogus": 1})
+
+
+class TestKeys:
+    def test_key_is_content_addressed(self):
+        assert spec_key(BASE) == spec_key(BASE.replace())
+        assert spec_key(BASE) != spec_key(BASE.replace(seed=1))
+        assert spec_key(BASE) != spec_key(BASE, salt="other-code-version")
+
+    def test_key_stable_across_processes(self):
+        """The content address is process-independent (no hash randomisation)."""
+        code = (
+            "from repro.api import SearchSpec\n"
+            "from repro.lab import spec_key\n"
+            f"spec = SearchSpec.from_json({BASE.to_json()!r})\n"
+            "print(spec_key(spec), end='')\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": str(Path(__file__).parent.parent / "src"), "PYTHONHASHSEED": "99"},
+        )
+        assert out.stdout == spec_key(BASE)
+
+    def test_unencodable_params_fail_loudly(self):
+        with pytest.raises(TypeError):
+            spec_key(SearchSpec(params={"fn": object()}))
+
+
+class TestResultStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        report = Engine().run(BASE)
+        key = store.put(BASE, report)
+        assert BASE in store
+        assert store.path_for(key).is_file()
+        loaded = store.get(BASE)
+        assert loaded.score == report.score
+        assert loaded.spec == BASE
+        assert loaded.work_units == report.work_units
+        assert loaded.simulated_seconds == pytest.approx(report.simulated_seconds)
+        assert store.get(BASE.replace(seed=5)) is None
+
+    def test_record_carries_provenance(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(BASE, Engine().run(BASE))
+        (record,) = store.records()
+        assert record["salt"] == CODE_VERSION
+        assert record["spec"] == json.loads(BASE.to_json())
+        assert record["created_at"] > 0
+
+    def test_salt_partitions_results(self, tmp_path):
+        v1 = ResultStore(tmp_path, salt="v1")
+        v2 = ResultStore(tmp_path, salt="v2")
+        v1.put(BASE, Engine().run(BASE))
+        assert BASE in v1 and BASE not in v2
+
+    def test_discard(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(BASE, Engine().run(BASE))
+        assert store.discard(BASE) is True
+        assert store.discard(BASE) is False
+        assert len(store) == 0
+
+
+def _counting_algorithm(name, calls):
+    @register_algorithm(name, description="test-only", supports_budget=False)
+    def _count(state, level, seeds, counter, budget, params):
+        from repro.core.sample import sample
+
+        calls.append(1)
+        return sample(state, seeds=seeds, counter=counter)
+
+    return _count
+
+
+class TestBatchLayer:
+    def test_rerun_against_populated_store_executes_nothing(self, tmp_path):
+        """Acceptance: the second identical sweep runs zero new searches."""
+        calls = []
+        _counting_algorithm("test-count", calls)
+        try:
+            sweep = SweepSpec(
+                base=SearchSpec(workload="leftmove", algorithm="test-count", level=0),
+                axes={"seed": (0, 1, 2)},
+            )
+            store = ResultStore(tmp_path)
+            engine = Engine()
+            first = engine.run_many(sweep, store=store)
+            assert len(calls) == 3 and len(first) == 3
+            second = engine.run_many(sweep, store=store)
+            assert len(calls) == 3  # playout counters stayed at zero on run two
+            assert [r.score for r in second] == [r.score for r in first]
+        finally:
+            del ALGORITHMS["test-count"]
+
+    def test_interrupted_sweep_resumes_missing_cells_only(self, tmp_path):
+        calls = []
+        _counting_algorithm("test-resume", calls)
+        try:
+            sweep = SweepSpec(
+                base=SearchSpec(workload="leftmove", algorithm="test-resume", level=0),
+                axes={"seed": (0, 1, 2, 3)},
+            )
+            store = ResultStore(tmp_path)
+            engine = Engine()
+            stop = threading.Event()
+
+            def interrupt_after_two(event: RunEvent) -> None:
+                if event.done >= 2 and event.terminal:
+                    stop.set()
+
+            partial = engine.run_many(sweep, store=store, cancel=stop, on_event=interrupt_after_two)
+            assert len(partial) == 2 and len(store) == 2 and len(calls) == 2
+            resumed = engine.run_many(sweep, store=store)
+            assert len(resumed) == 4
+            assert len(calls) == 4  # only the two missing cells executed
+            kinds = []
+            engine.run_many(sweep, store=store, on_event=lambda e: kinds.append(e.kind))
+            assert kinds == ["cached"] * 4
+        finally:
+            del ALGORITHMS["test-resume"]
+
+    def test_event_stream_shape(self, tmp_path):
+        store = ResultStore(tmp_path)
+        sweep = SweepSpec(base=BASE, axes={"seed": (0, 1)})
+        events = list(Engine().stream(sweep, store=store))
+        assert [e.kind for e in events] == ["started", "completed", "started", "completed"]
+        assert [e.index for e in events] == [0, 0, 1, 1]
+        assert [(e.done, e.total) for e in events] == [(0, 2), (1, 2), (1, 2), (2, 2)]
+        assert all(e.report is not None for e in events if e.kind == "completed")
+
+    def test_error_policy_raise_and_skip(self):
+        engine = Engine()
+        specs = [
+            BASE,
+            SearchSpec(workload="leftmove", backend="threads", level=0, max_steps=1),  # needs >=1
+            BASE.replace(seed=1),
+        ]
+        with pytest.raises(ValueError, match="level >= 1"):
+            engine.run_many(specs)
+        events = []
+        reports = engine.run_many(
+            specs, error_policy="skip", on_event=lambda e: events.append(e)
+        )
+        assert len(reports) == 2  # the failing cell is absent, the rest survive
+        failed = [e for e in events if e.kind == "failed"]
+        assert len(failed) == 1 and isinstance(failed[0].error, ValueError)
+        with pytest.raises(ValueError, match="error_policy"):
+            engine.run_many(specs, error_policy="bogus")
+
+    def test_worker_pool_matches_sequential(self, tmp_path):
+        sweep = SweepSpec(base=SIM, axes={"n_clients": (1, 2), "level": (2, 3)})
+        sequential = Engine().run_many(sweep)
+        pooled = Engine().run_many(sweep, max_workers=3)
+        assert [r.score for r in pooled] == [r.score for r in sequential]
+        assert [r.simulated_seconds for r in pooled] == [
+            r.simulated_seconds for r in sequential
+        ]
+
+    def test_refresh_reexecutes_but_still_stores(self, tmp_path):
+        calls = []
+        _counting_algorithm("test-refresh", calls)
+        try:
+            spec = SearchSpec(workload="leftmove", algorithm="test-refresh", level=0)
+            store = ResultStore(tmp_path)
+            engine = Engine()
+            engine.run_many([spec], store=store)
+            engine.run_many([spec], store=store, refresh=True)
+            assert len(calls) == 2 and len(store) == 1
+        finally:
+            del ALGORITHMS["test-refresh"]
+
+    def test_run_many_rejects_a_bare_spec(self):
+        with pytest.raises(TypeError, match="Engine.run"):
+            Engine().run_many(BASE)
+
+    def test_engine_cost_model_is_pinned_into_stored_specs(self, tmp_path):
+        """Two engines with different calibrations never alias store entries."""
+        from repro.timemodel.cost import CostModel
+
+        store = ResultStore(tmp_path)
+        fast = Engine(cost_model=CostModel(units_per_ghz_per_second=1e9))
+        slow = Engine(cost_model=CostModel(units_per_ghz_per_second=1e3))
+        (a,) = fast.run_many([BASE], store=store)
+        (b,) = slow.run_many([BASE], store=store)
+        assert len(store) == 2
+        assert b.simulated_seconds > a.simulated_seconds
+        # Reports echo the pinned spec, so exported keys name real records —
+        # identically on the fresh run and on the resumed one.
+        assert a.spec.units_per_ghz == 1e9
+        (row,) = rows_from_reports([a], store=store)
+        assert store.load(row["key"]) is not None
+        (cached,) = fast.run_many([BASE], store=store)
+        (cached_row,) = rows_from_reports([cached], store=store)
+        assert cached_row["key"] == row["key"]
+
+    def test_engine_network_partitions_store_entries(self, tmp_path):
+        """Runs under different network models never reuse each other's records."""
+        from repro.cluster.network import NetworkModel
+
+        store = ResultStore(tmp_path)
+        default = Engine()
+        slow_net = Engine(network=NetworkModel(latency_s=0.005))  # 100x default
+        (a,) = default.run_many([SIM], store=store)
+        events = []
+        (b,) = slow_net.run_many([SIM], store=store, on_event=lambda e: events.append(e.kind))
+        assert "cached" not in events  # the default-network record was not reused
+        assert len(store) == 2
+        assert b.simulated_seconds > a.simulated_seconds
+        # ... while re-running under the same network resumes as usual.
+        kinds = []
+        slow_net.run_many([SIM], store=store, on_event=lambda e: kinds.append(e.kind))
+        assert kinds == ["cached"]
+
+
+class TestExport:
+    def test_rows_and_files(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        sweep = SweepSpec(base=SIM, axes={"n_clients": (1, 2)})
+        reports = Engine().run_many(sweep, store=store)
+        rows = rows_from_reports(reports, store=store)
+        assert [row["n_clients"] for row in rows] == [1, 2]
+        assert all(row["key"] for row in rows)
+        assert rows[0]["score"] == reports[0].score
+        from_store = rows_from_store(store)
+        assert {row["key"] for row in from_store} == {row["key"] for row in rows}
+        csv_path = write_csv(rows, tmp_path / "rows.csv")
+        assert csv_path.read_text().startswith("key,workload,algorithm")
+        json_path = write_json(rows, tmp_path / "rows.json")
+        assert json.loads(json_path.read_text())[0]["workload"] == "leftmove"
+
+    def test_pivot_table_renders_rows_directly(self):
+        sweep = SweepSpec(base=SIM, axes={"n_clients": (2, 1), "level": (2, 3)})
+        rows = rows_from_reports(Engine().run_many(sweep))
+        table = pivot_table(
+            rows,
+            title="times",
+            index="n_clients",
+            column="level",
+            value="simulated_seconds",
+            row_label="clients",
+            column_fmt=lambda lvl: f"level {lvl}",
+        )
+        rendered = table.render()
+        assert table.columns == ["level 2", "level 3"]
+        assert [row["__label__"] for row in table.rows] == ["2", "1"]
+        assert "clients" in rendered

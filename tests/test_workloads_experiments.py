@@ -99,6 +99,48 @@ class TestExperimentRunners:
         with pytest.raises(ValueError, match="first_move"):
             run_client_sweep("bogus-dispatcher", experiment="nope", workload="weakschur")
 
+    def test_client_sweep_rejects_unregistered_workload_objects(self):
+        custom = Workload(
+            name="custom-unregistered",
+            description="not in the registry",
+            make_state=morpion_bench_state,
+        )
+        with pytest.raises(ValueError, match="resolve workloads by name"):
+            run_client_sweep("rr", workload=custom, levels=[2], client_counts=[1])
+        with pytest.raises(ValueError, match="resolve workloads by name"):
+            run_table6_heterogeneous(workload=custom, levels=[2])
+
+    def test_client_sweep_with_store_skips_on_rerun(self, tmp_path):
+        from repro.lab import ResultStore
+
+        # No shared executor: the module-level one has served morpion jobs,
+        # and an explicit executor disables per-workload cache partitioning.
+        store = ResultStore(tmp_path)
+        kwargs = dict(
+            experiment="first_move",
+            workload="weakschur",
+            levels=[2],
+            client_counts=[1, 4],
+            master_seed=0,
+            store=store,
+        )
+        first = run_client_sweep("rr", **kwargs)
+        assert len(store) == 2
+        second = run_client_sweep("rr", **kwargs)
+        assert second.times == first.times
+        assert second.render() == first.render()
+
+    def test_table6_duplicate_repartitions_share_cells(self):
+        result = run_table6_heterogeneous(
+            workload="weakschur",
+            levels=[2],
+            configurations=[("first", 2, 2), ("second", 2, 2)],
+            master_seed=0,
+        )
+        advantages = result.data["advantages"]
+        assert advantages["first_level2_rr_over_lm"] == advantages["second_level2_rr_over_lm"]
+        assert len(result.table.rows) == 4  # both labels render, LM and RR each
+
     def test_table6_lm_not_worse_than_rr(self, shared_executor):
         result = run_table6_heterogeneous(
             workload="morpion-small",
