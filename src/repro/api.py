@@ -293,6 +293,9 @@ class RunReport:
     n_workers: Optional[int] = None
     comm: Optional[Dict[str, int]] = None
     client_utilisation: Optional[float] = None
+    #: Event-loop diagnostics of simulated backends (see
+    #: :class:`repro.cluster.simulator.KernelStats`; None for real substrates).
+    kernel_stats: Optional[Dict[str, Any]] = None
     raw: Any = field(default=None, repr=False, compare=False)
 
     @property
@@ -316,6 +319,7 @@ class RunReport:
             "n_workers": self.n_workers,
             "comm": to_jsonable(self.comm),
             "client_utilisation": self.client_utilisation,
+            "kernel_stats": to_jsonable(self.kernel_stats),
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -1023,6 +1027,7 @@ def _backend_sim_cluster(spec: SearchSpec, algorithm: AlgorithmEntry, ctx: RunCo
         n_workers=ctx.cluster.n_clients,
         comm=dict(summary.counts),
         client_utilisation=run.client_utilisation(),
+        kernel_stats=run.kernel_stats.to_dict() if run.kernel_stats is not None else None,
         raw=run,
     )
 

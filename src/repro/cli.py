@@ -456,6 +456,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _print(f"wall time: {report.wall_seconds:.2f}s")
         if report.n_jobs is not None:
             _print(f"jobs: {report.n_jobs}")
+        if report.kernel_stats is not None:
+            stats = report.kernel_stats
+            ratio = stats.get("wall_seconds_per_simulated_second")
+            _print(
+                f"kernel: {stats['events_fired']} events fired, "
+                f"{stats['events_cancelled']} cancelled, "
+                f"peak queue {stats['peak_queue_size']}"
+                + (f", {ratio:.2f} wall-s per simulated-s" if ratio is not None else "")
+            )
         return 0
 
     if args.command == "list":

@@ -3,6 +3,14 @@
 Events are ordered by simulated time with a monotonically increasing sequence
 number as a tie-breaker, which makes the simulation fully deterministic: two
 events scheduled for the same instant fire in the order they were scheduled.
+
+Cancelled events are *garbage*: they stay in the heap until popped, but the
+queue tracks how many there are so that ``len(queue)`` / ``bool(queue)``
+report live events only (a ``Kernel.run`` loop or ``max_events`` budget never
+sees phantom work), and the heap is compacted in place whenever garbage
+outnumbers the live entries.  The queue also keeps lifetime counters (pushes,
+cancellations, compactions, peak size) that feed the kernel's
+:class:`~repro.cluster.simulator.KernelStats` diagnostics.
 """
 
 from __future__ import annotations
@@ -13,6 +21,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Tuple
 
 __all__ = ["Event", "EventQueue"]
+
+#: Compaction is skipped below this many cancelled entries: rebuilding a tiny
+#: heap costs more bookkeeping than the garbage it would reclaim.
+_COMPACT_MIN_GARBAGE = 64
 
 
 @dataclass(order=True)
@@ -28,10 +40,17 @@ class Event:
     callback: Callable[..., None] = field(compare=False)
     args: Tuple[Any, ...] = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    #: The queue currently holding this event (None once popped or when the
+    #: event was built outside a queue); lets cancel() report its garbage.
+    queue: Optional["EventQueue"] = field(compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.queue is not None:
+            self.queue._note_cancelled()
 
     def fire(self) -> None:
         """Invoke the callback unless the event has been cancelled."""
@@ -45,31 +64,68 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._garbage = 0  # cancelled events still sitting in the heap
+        # Lifetime diagnostics (never reset; see KernelStats).
+        self.pushed = 0
+        self.cancelled_total = 0
+        self.compactions = 0
+        self.peak_size = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        """Number of *live* (non-cancelled) events."""
+        return len(self._heap) - self._garbage
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return len(self._heap) > self._garbage
 
     def push(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute simulated ``time``."""
         if time < 0:
             raise ValueError("cannot schedule an event at a negative time")
         event = Event(time=float(time), seq=next(self._counter), callback=callback, args=args)
+        event.queue = self
         heapq.heappush(self._heap, event)
+        self.pushed += 1
+        if len(self._heap) > self.peak_size:
+            self.peak_size = len(self._heap)
         return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest non-cancelled event (or ``None``)."""
         while self._heap:
             event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
+            event.queue = None
+            if event.cancelled:
+                self._garbage -= 1
+                continue
+            return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event, without removing it."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap).queue = None
+            self._garbage -= 1
         return self._heap[0].time if self._heap else None
+
+    # ------------------------------------------------------------------ #
+    # Garbage accounting
+    # ------------------------------------------------------------------ #
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` while the event still sits in the heap."""
+        self._garbage += 1
+        self.cancelled_total += 1
+        if self._garbage >= _COMPACT_MIN_GARBAGE and self._garbage * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (ordering is a total order
+        on unique ``(time, seq)`` pairs, so compaction cannot perturb event
+        order — determinism survives)."""
+        for event in self._heap:
+            if event.cancelled:
+                event.queue = None
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._garbage = 0
+        self.compactions += 1

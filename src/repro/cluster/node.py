@@ -12,12 +12,28 @@ half speed whenever they are all busy, while clients on the ``x2`` PCs run at
 full speed.  The Round-Robin dispatcher keeps feeding the slow clients and
 waits for them at every step; the Last-Minute dispatcher hands work to
 whichever client frees up first.
+
+Scheduling uses **virtual work time**: the node integrates a cumulative
+per-computation work total ``W(t)`` (every running computation receives the
+same share under proportional sharing, so one integral serves them all).  A
+computation of ``w`` units started when the integral was ``W0`` completes
+exactly when ``W`` reaches ``W0 + w`` — a constant *work target* fixed at
+start time.  Completion order is therefore the order of the targets, so only
+the *single earliest* completion per node needs a scheduled kernel event; a
+load change (arrival or completion) re-aims that one event in O(log C)
+instead of cancelling and re-pushing an event per running computation
+(O(C log C) heap churn per wave, O(C^2) per arrival/completion storm — the
+regime that made high-latency runs CPU-pathological).  Because targets are
+fixed rather than repeatedly decremented, there is no floating-point drift
+to re-spin on: when the completion event fires, the integral is snapped to
+the exact target.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Optional
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.events import Event
@@ -55,14 +71,19 @@ class NodeSpec:
 
 @dataclass
 class RunningComputation:
-    """Book-keeping for one in-flight computation on a node."""
+    """Book-keeping for one in-flight computation on a node.
+
+    ``target`` is the value of the node's work integral at which this
+    computation completes (``integral at start + total_work``); ``seq`` is
+    the node-local start order, breaking ties between computations whose
+    targets coincide so simultaneous completions stay deterministic.
+    """
 
     pid: str
-    remaining_work: float
     started_at: float
     total_work: float
-    version: int = 0
-    completion_event: Optional["Event"] = None
+    target: float
+    seq: int
     on_complete: Optional[Callable[[], None]] = None
 
 
@@ -73,7 +94,14 @@ class Node:
         self.spec = spec
         self.kernel = kernel
         self._running: Dict[str, RunningComputation] = {}
+        #: min-heap of (target, seq, pid): the next completion is the top.
+        self._completions: List[Tuple[float, int, str]] = []
+        #: cumulative per-computation work integral W(t)
+        self._work = 0.0
         self._last_update = 0.0
+        self._seq = 0
+        self._next_event: Optional["Event"] = None
+        self._next_version = 0
         #: accumulated (busy_cores * seconds), for utilisation reporting
         self.busy_core_seconds = 0.0
 
@@ -96,29 +124,29 @@ class Node:
     # Internal time integration
     # ------------------------------------------------------------------ #
     def _advance(self) -> None:
-        """Integrate progress of every running computation up to ``kernel.now``."""
+        """Integrate the shared work total up to ``kernel.now``."""
         now = self.kernel.now
         elapsed = now - self._last_update
         if elapsed > 0 and self._running:
-            speed = self.units_per_second()
-            for comp in self._running.values():
-                comp.remaining_work = max(0.0, comp.remaining_work - speed * elapsed)
+            self._work += self.units_per_second() * elapsed
             self.busy_core_seconds += elapsed * min(len(self._running), self.spec.cores)
         self._last_update = now
 
-    def _reschedule_all(self) -> None:
-        """Recompute and (re)schedule the completion event of every computation."""
+    def _schedule_next(self) -> None:
+        """(Re)aim the node's single completion event at the earliest target."""
+        if self._next_event is not None:
+            self._next_event.cancel()
+            self._next_event = None
+        self._next_version += 1
+        if not self._completions:
+            return
         speed = self.units_per_second()
-        for comp in self._running.values():
-            if comp.completion_event is not None:
-                comp.completion_event.cancel()
-            comp.version += 1
-            if speed <= 0.0:  # pragma: no cover - defensive (speed>0 when running)
-                continue
-            finish = self.kernel.now + comp.remaining_work / speed
-            comp.completion_event = self.kernel.schedule_at(
-                finish, self._on_completion, comp.pid, comp.version
-            )
+        if speed <= 0.0:  # pragma: no cover - defensive (speed>0 when running)
+            return
+        target = self._completions[0][0]
+        remaining = max(0.0, target - self._work)
+        finish = self.kernel.now + remaining / speed
+        self._next_event = self.kernel.schedule_at(finish, self._on_completion, self._next_version)
 
     # ------------------------------------------------------------------ #
     # Public interface used by the kernel
@@ -136,25 +164,32 @@ class Node:
         if work_units < 0:
             raise ValueError("work_units must be non-negative")
         self._advance()
-        self._running[pid] = RunningComputation(
+        seq = self._seq
+        self._seq += 1
+        comp = RunningComputation(
             pid=pid,
-            remaining_work=float(work_units),
             started_at=self.kernel.now,
             total_work=float(work_units),
+            target=self._work + float(work_units),
+            seq=seq,
             on_complete=on_complete,
         )
-        self._reschedule_all()
+        self._running[pid] = comp
+        heapq.heappush(self._completions, (comp.target, seq, pid))
+        self._schedule_next()
 
-    def _on_completion(self, pid: str, version: int) -> None:
-        comp = self._running.get(pid)
-        if comp is None or comp.version != version:
-            return  # stale event from before a reschedule
+    def _on_completion(self, version: int) -> None:
+        if version != self._next_version:  # pragma: no cover - defensive
+            return  # stale event from before a load change
+        self._next_event = None
         self._advance()
-        if comp.remaining_work > 1e-9:
-            # Numerical drift: reschedule the remainder instead of finishing early.
-            self._reschedule_all()
-            return
-        del self._running[pid]
+        target, _seq, pid = heapq.heappop(self._completions)
+        comp = self._running.pop(pid)
+        # Snap the integral to the exact target: completions hit their work
+        # totals precisely, so error never accumulates across load changes
+        # and no drift-respin path is needed.
+        if self._work < target:
+            self._work = target
         self.kernel.trace.record_compute(
             pid=pid,
             node=self.spec.name,
@@ -162,8 +197,10 @@ class Node:
             end=self.kernel.now,
             work=comp.total_work,
         )
-        # Remaining computations speed up now that a slot freed: reschedule them.
-        self._reschedule_all()
+        # Remaining computations speed up now that a slot freed: re-aim the
+        # (single) completion event before resuming the finished process, so
+        # simultaneous completions still fire before its resumption.
+        self._schedule_next()
         if comp.on_complete is not None:
             comp.on_complete()
 

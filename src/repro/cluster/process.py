@@ -18,8 +18,9 @@ needs.
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, Generator, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.simulator import Kernel
@@ -28,6 +29,7 @@ __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "Message",
+    "Mailbox",
     "Syscall",
     "Send",
     "Recv",
@@ -100,6 +102,76 @@ class Sleep(Syscall):
     seconds: float
 
 
+class Mailbox:
+    """Buffered messages of one process, indexed by tag.
+
+    Receives almost always name a tag (the root/median/client protocol keeps
+    its planes on distinct tags), so messages are bucketed into per-tag FIFO
+    queues: a tag-filtered receive pops the head of one bucket instead of
+    scanning every buffered message.  A global enqueue sequence per message
+    preserves the exact matching semantics of a single FIFO list — whatever
+    the filter, the *earliest delivered* matching message wins — so wildcard
+    receives (``ANY_TAG``) compare bucket heads and source-filtered receives
+    scan only their tag's bucket.
+    """
+
+    __slots__ = ("_by_tag", "_seq", "_size")
+
+    def __init__(self) -> None:
+        self._by_tag: Dict[Any, Deque[Tuple[int, Message]]] = {}
+        self._seq = 0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def append(self, message: Message) -> None:
+        """Buffer a delivered message (called by the kernel)."""
+        bucket = self._by_tag.get(message.tag)
+        if bucket is None:
+            bucket = self._by_tag[message.tag] = deque()
+        bucket.append((self._seq, message))
+        self._seq += 1
+        self._size += 1
+
+    def pop_match(self, recv: "Recv") -> Optional["Message"]:
+        """Remove and return the earliest message matching ``recv`` (or None)."""
+        if recv.tag is ANY_TAG:
+            buckets = self._by_tag.values()
+        else:
+            bucket = self._by_tag.get(recv.tag)
+            buckets = (bucket,) if bucket is not None else ()
+        best_bucket: Optional[Deque[Tuple[int, Message]]] = None
+        best_index = 0
+        best_seq = -1
+        for bucket in buckets:
+            if not bucket:
+                continue
+            if recv.source is ANY_SOURCE:
+                index = 0
+            else:
+                index = next(
+                    (i for i, (_, m) in enumerate(bucket) if m.source == recv.source), -1
+                )
+                if index < 0:
+                    continue
+            seq = bucket[index][0]
+            if best_bucket is None or seq < best_seq:
+                best_bucket, best_index, best_seq = bucket, index, seq
+        if best_bucket is None:
+            return None
+        if best_index == 0:
+            message = best_bucket.popleft()[1]
+        else:
+            message = best_bucket[best_index][1]
+            del best_bucket[best_index]
+        self._size -= 1
+        return message
+
+
 class ProcessState(enum.Enum):
     """Lifecycle of a simulated process."""
 
@@ -121,7 +193,7 @@ class SimProcess:
     generator: Generator[Syscall, Any, Any]
     state: ProcessState = ProcessState.READY
     pending_recv: Optional[Recv] = None
-    mailbox: list = field(default_factory=list)
+    mailbox: Mailbox = field(default_factory=Mailbox)
     return_value: Any = None
     exception: Optional[BaseException] = None
     started_at: float = 0.0

@@ -14,6 +14,8 @@ the same workload on the same topology produce bit-identical traces.
 
 from __future__ import annotations
 
+import time as _time
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
 
 from repro.cluster.events import Event, EventQueue
@@ -35,11 +37,53 @@ from repro.cluster.process import (
 from repro.cluster.trace import Trace
 from repro.timemodel.cost import CostModel
 
-__all__ = ["Kernel", "SimulationError"]
+__all__ = ["Kernel", "KernelStats", "SimulationError"]
 
 
 class SimulationError(RuntimeError):
     """Raised when the simulation reaches an inconsistent state (e.g. deadlock)."""
+
+
+@dataclass
+class KernelStats:
+    """Diagnostics of one kernel's event loop (cumulative across ``run`` calls).
+
+    ``events_cancelled`` counts events that were cancelled before firing
+    (completion re-aims on node load changes, mostly); ``peak_queue_size``
+    is the largest the event heap ever grew (cancelled entries included —
+    it measures memory, not live work); ``compactions`` counts in-place
+    heap rebuilds that reclaimed cancelled entries.  ``wall_seconds`` is
+    real time spent inside :meth:`Kernel.run`, so
+    ``wall_seconds_per_simulated_second`` is the simulator's slowdown
+    factor — the pathology metric for latency-dominated runs.
+    """
+
+    events_fired: int = 0
+    events_scheduled: int = 0
+    events_cancelled: int = 0
+    peak_queue_size: int = 0
+    compactions: int = 0
+    simulated_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    @property
+    def wall_seconds_per_simulated_second(self) -> Optional[float]:
+        """Real seconds burnt per simulated second (None before any time passes)."""
+        if self.simulated_seconds <= 0:
+            return None
+        return self.wall_seconds / self.simulated_seconds
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "events_fired": self.events_fired,
+            "events_scheduled": self.events_scheduled,
+            "events_cancelled": self.events_cancelled,
+            "peak_queue_size": self.peak_queue_size,
+            "compactions": self.compactions,
+            "simulated_seconds": self.simulated_seconds,
+            "wall_seconds": self.wall_seconds,
+            "wall_seconds_per_simulated_second": self.wall_seconds_per_simulated_second,
+        }
 
 
 class Kernel:
@@ -61,6 +105,8 @@ class Kernel:
         self._contexts: Dict[str, ProcessContext] = {}
         self._last_delivery: Dict[tuple, float] = {}
         self._finished_count = 0
+        self._events_fired = 0
+        self._wall_seconds = 0.0
 
     # ------------------------------------------------------------------ #
     # Topology registration
@@ -228,11 +274,10 @@ class Kernel:
 
     # -- Recv ------------------------------------------------------------ #
     def _do_recv(self, process: SimProcess, syscall: Recv) -> None:
-        for i, message in enumerate(process.mailbox):
-            if process.matches(message, syscall):
-                process.mailbox.pop(i)
-                self.schedule_at(self.now, self._resume, process.name, message)
-                return
+        message = process.mailbox.pop_match(syscall)
+        if message is not None:
+            self.schedule_at(self.now, self._resume, process.name, message)
+            return
         process.state = ProcessState.BLOCKED_RECV
         process.pending_recv = syscall
 
@@ -243,6 +288,15 @@ class Kernel:
         process.state = ProcessState.COMPUTING
         node = self._nodes[process.node_name]
         if syscall.work_units == 0:
+            # A zero-work computation is still a job: record it (start == end)
+            # so job counts stay faithful for trivial evaluations.
+            self.trace.record_compute(
+                pid=process.name,
+                node=process.node_name,
+                start=self.now,
+                end=self.now,
+                work=0.0,
+            )
             self.schedule_at(self.now, self._resume, process.name, None)
             return
         node.start_computation(
@@ -272,28 +326,46 @@ class Kernel:
         target = self._processes.get(until_process) if until_process else None
         if until_process is not None and target is None:
             raise ValueError(f"unknown process {until_process!r}")
-        while self.queue:
-            if target is not None and target.state in (ProcessState.FINISHED, ProcessState.FAILED):
-                break
-            next_time = self.queue.peek_time()
-            if next_time is None:
-                break
-            if until_time is not None and next_time > until_time:
-                self.now = until_time
-                break
-            event = self.queue.pop()
-            if event is None:
-                break
-            self.now = event.time
-            event.fire()
-            events_fired += 1
-            if max_events is not None and events_fired >= max_events:
-                break
+        wall_start = _time.perf_counter()
+        try:
+            while self.queue:
+                if target is not None and target.state in (ProcessState.FINISHED, ProcessState.FAILED):
+                    break
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    break
+                if until_time is not None and next_time > until_time:
+                    self.now = until_time
+                    break
+                event = self.queue.pop()
+                if event is None:
+                    break
+                self.now = event.time
+                event.fire()
+                events_fired += 1
+                if max_events is not None and events_fired >= max_events:
+                    break
+        finally:
+            self._events_fired += events_fired
+            self._wall_seconds += _time.perf_counter() - wall_start
+            self.trace.kernel_stats = self.stats()
         return self.now
 
     # ------------------------------------------------------------------ #
     # Diagnostics
     # ------------------------------------------------------------------ #
+    def stats(self) -> KernelStats:
+        """A snapshot of this kernel's event-loop diagnostics."""
+        return KernelStats(
+            events_fired=self._events_fired,
+            events_scheduled=self.queue.pushed,
+            events_cancelled=self.queue.cancelled_total,
+            peak_queue_size=self.queue.peak_size,
+            compactions=self.queue.compactions,
+            simulated_seconds=self.now,
+            wall_seconds=self._wall_seconds,
+        )
+
     def blocked_processes(self) -> List[str]:
         """Names of processes currently blocked on a receive."""
         return [

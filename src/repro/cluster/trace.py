@@ -12,7 +12,10 @@ of these records.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.simulator import KernelStats
 
 __all__ = ["MessageRecord", "ComputeRecord", "Trace"]
 
@@ -53,6 +56,9 @@ class Trace:
     messages: List[MessageRecord] = field(default_factory=list)
     computes: List[ComputeRecord] = field(default_factory=list)
     enabled: bool = True
+    #: Kernel diagnostics of the run that produced this trace; filled by
+    #: :meth:`repro.cluster.simulator.Kernel.run` (None for hand-built traces).
+    kernel_stats: Optional["KernelStats"] = None
 
     # ------------------------------------------------------------------ #
     # Recording (called by the kernel)

@@ -28,7 +28,10 @@ __all__ = ["CODE_VERSION", "canonical_payload", "spec_key"]
 #: Salt mixed into every spec key.  Bump when search semantics change
 #: (seed derivation, playout order, cost model, dispatcher behaviour, ...);
 #: all content addresses roll over and stores refuse to reuse stale results.
-CODE_VERSION = "repro-lab-1"
+#: repro-lab-2: virtual-work-time kernel — zero-work computes now count in
+#: n_jobs and completion instants are solved from exact work targets, so
+#: reports stored under repro-lab-1 describe the old kernel's outputs.
+CODE_VERSION = "repro-lab-2"
 
 
 def canonical_payload(spec: "SearchSpec") -> str:

@@ -176,5 +176,6 @@ class ResultStore:
             n_workers=data.get("n_workers"),
             comm=data.get("comm"),
             client_utilisation=data.get("client_utilisation"),
+            kernel_stats=data.get("kernel_stats"),
             raw=record,
         )

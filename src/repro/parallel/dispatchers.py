@@ -17,8 +17,9 @@ lower-level search:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Generator, List, Optional
+from typing import Generator, List, Optional, Tuple
 
 from repro.parallel.config import ParallelConfig
 from repro.parallel.messages import (
@@ -85,17 +86,19 @@ def last_minute_dispatcher(
     if not client_names:
         raise ValueError("the dispatcher needs at least one client")
     free_clients: List[str] = list(client_names)
-    jobs: List[PendingJob] = []
+    # Min-heap keyed (moves_played, arrival) — or (arrival,) for the FIFO
+    # ablation.  The arrival counter is unique, so keys are a total order
+    # (the PendingJob payload is never compared) and pop order matches the
+    # old min()+remove() scan exactly, in O(log n) instead of O(n).
+    jobs: List[Tuple[Tuple[int, ...], PendingJob]] = []
     arrival_counter = 0
     served = 0
 
+    def job_key(moves_played: int, arrival: int) -> Tuple[int, ...]:
+        return (arrival,) if fifo_jobs else (moves_played, arrival)
+
     def pick_job() -> PendingJob:
-        if fifo_jobs:
-            job = min(jobs, key=lambda j: j.arrival)
-        else:
-            job = min(jobs, key=lambda j: (j.moves_played, j.arrival))
-        jobs.remove(job)
-        return job
+        return heapq.heappop(jobs)[1]
 
     while True:
         message = yield ctx.recv(tag=TAG_DISPATCH)
@@ -125,13 +128,12 @@ def last_minute_dispatcher(
                     size_bytes=SMALL_MESSAGE_BYTES,
                 )
             else:
-                jobs.append(
-                    PendingJob(
-                        median=payload.median,
-                        moves_played=payload.moves_played,
-                        arrival=arrival_counter,
-                    )
+                job = PendingJob(
+                    median=payload.median,
+                    moves_played=payload.moves_played,
+                    arrival=arrival_counter,
                 )
+                heapq.heappush(jobs, (job_key(job.moves_played, job.arrival), job))
                 arrival_counter += 1
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"dispatcher received unexpected payload {payload!r}")

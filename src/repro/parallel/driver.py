@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.network import NetworkModel
-from repro.cluster.simulator import Kernel
+from repro.cluster.simulator import Kernel, KernelStats
 from repro.cluster.topology import ClusterSpec, homogeneous_cluster
 from repro.cluster.trace import Trace
 from repro.core.counters import WorkCounter
@@ -59,6 +59,9 @@ class ParallelRunResult:
     cluster: ClusterSpec
     total_client_work: float
     n_jobs: int
+    #: Event-loop diagnostics of the simulated run (events fired/cancelled,
+    #: peak heap size, wall-clock per simulated second).
+    kernel_stats: Optional[KernelStats] = None
 
     @property
     def score(self) -> float:
@@ -172,6 +175,7 @@ def run_parallel_nmcs(
         cluster=cluster,
         total_client_work=total_client_work,
         n_jobs=n_jobs,
+        kernel_stats=kernel.stats(),
     )
 
 

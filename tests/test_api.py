@@ -47,6 +47,7 @@ REPORT_KEYS = {
     "n_workers",
     "comm",
     "client_utilisation",
+    "kernel_stats",
 }
 
 

@@ -58,6 +58,60 @@ class TestEventQueue:
         queue.push(0.0, lambda: None)
         assert len(queue) == 1 and queue
 
+    def test_len_and_bool_exclude_cancelled(self):
+        queue = EventQueue()
+        live = queue.push(1.0, lambda: None)
+        for _ in range(5):
+            queue.push(2.0, lambda: None).cancel()
+        assert len(queue) == 1
+        assert queue
+        live.cancel()
+        assert len(queue) == 0
+        assert not queue
+        assert queue.pop() is None
+
+    def test_double_cancel_counted_once(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_after_pop_does_not_corrupt_len(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.pop() is event
+        event.cancel()  # no longer in the heap: must not count as garbage
+        assert len(queue) == 1
+
+    def test_compaction_reclaims_cancelled_entries(self):
+        queue = EventQueue()
+        keep = [queue.push(float(i), lambda: None) for i in range(10)]
+        doomed = [queue.push(100.0 + i, lambda: None) for i in range(500)]
+        for event in doomed:
+            event.cancel()
+        assert queue.compactions >= 1
+        assert len(queue) == 10
+        # Garbage below the compaction floor (64 entries) may linger, but the
+        # bulk of the 500 cancelled events must have been reclaimed.
+        assert len(queue._heap) < 128
+        # Compaction must not perturb pop order.
+        times = []
+        while queue:
+            times.append(queue.pop().time)
+        assert times == [float(i) for i in range(10)]
+        assert keep[0].time == 0.0
+
+    def test_diagnostic_counters(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(4)]
+        events[0].cancel()
+        assert queue.pushed == 4
+        assert queue.cancelled_total == 1
+        assert queue.peak_size == 4
+
     def test_fire_ignores_cancelled(self):
         fired = []
         event = Event(time=0.0, seq=0, callback=fired.append, args=("x",))

@@ -6,7 +6,7 @@ import pytest
 
 from repro.cluster.network import NetworkModel
 from repro.cluster.node import NodeSpec
-from repro.cluster.process import ANY_SOURCE, ProcessState
+from repro.cluster.process import ANY_SOURCE, ANY_TAG, Mailbox, Message, ProcessState, Recv
 from repro.cluster.simulator import Kernel, SimulationError
 from repro.timemodel.cost import CostModel
 
@@ -244,6 +244,49 @@ class TestCompute:
         assert kernel.now == 0.0
         assert kernel.process("w").return_value == "ok"
 
+    def test_zero_work_is_recorded_in_the_trace(self):
+        kernel = make_kernel()
+
+        def worker(ctx):
+            yield ctx.sleep(1.5)
+            yield ctx.compute(0.0)
+
+        kernel.spawn("w", "n0", worker)
+        kernel.run()
+        assert len(kernel.trace.computes) == 1
+        record = kernel.trace.computes[0]
+        assert (record.pid, record.node, record.work) == ("w", "n0", 0.0)
+        assert record.start == record.end == pytest.approx(1.5)
+
+    def test_many_sharers_complete_in_start_order(self):
+        kernel = make_kernel(cores=1, freq=1.0, units_per_ghz=1.0)
+        done = []
+
+        def worker(ctx, work):
+            yield ctx.compute(work)
+            done.append(ctx.name)
+
+        for i, work in enumerate((3.0, 2.0, 1.0)):
+            kernel.spawn(f"p{i}", "n0", worker, work)
+        kernel.run()
+        # One core, three sharers: completion order follows the work targets
+        # (1.0 first), and the total work of 6 units takes 6 seconds.
+        assert done == ["p2", "p1", "p0"]
+        assert kernel.now == pytest.approx(6.0)
+
+    def test_equal_work_completes_in_scheduling_order(self):
+        kernel = make_kernel(cores=1, freq=1.0, units_per_ghz=1.0)
+        done = []
+
+        def worker(ctx):
+            yield ctx.compute(1.0)
+            done.append(ctx.name)
+
+        for name in ("a", "b", "c"):
+            kernel.spawn(name, "n0", worker)
+        kernel.run()
+        assert done == ["a", "b", "c"]
+
     def test_node_utilisation(self):
         kernel = make_kernel(cores=2, freq=1.0, units_per_ghz=1.0)
 
@@ -298,3 +341,92 @@ class TestRunControls:
         kernel = make_kernel()
         with pytest.raises(ValueError):
             kernel.add_node(NodeSpec(name="n0"))
+
+
+def _message(source: str, tag: int, payload=None, seq: float = 0.0) -> Message:
+    return Message(source=source, tag=tag, payload=payload, sent_at=seq, received_at=seq)
+
+
+class TestMailbox:
+    def test_fifo_within_a_tag(self):
+        box = Mailbox()
+        box.append(_message("a", 1, "first"))
+        box.append(_message("a", 1, "second"))
+        assert box.pop_match(Recv(tag=1)).payload == "first"
+        assert box.pop_match(Recv(tag=1)).payload == "second"
+        assert box.pop_match(Recv(tag=1)) is None
+
+    def test_wildcard_tag_takes_earliest_across_tags(self):
+        box = Mailbox()
+        box.append(_message("a", 2, "ba"))
+        box.append(_message("a", 1, "ab"))
+        assert box.pop_match(Recv()).payload == "ba"
+        assert box.pop_match(Recv()).payload == "ab"
+
+    def test_source_filter_takes_earliest_match(self):
+        box = Mailbox()
+        box.append(_message("x", 1, "x1"))
+        box.append(_message("y", 1, "y1"))
+        box.append(_message("x", 1, "x2"))
+        assert box.pop_match(Recv(source="y", tag=1)).payload == "y1"
+        assert box.pop_match(Recv(source="x", tag=ANY_TAG)).payload == "x1"
+        assert box.pop_match(Recv(source="x", tag=1)).payload == "x2"
+        assert len(box) == 0
+
+    def test_len_tracks_buffered_messages(self):
+        box = Mailbox()
+        assert not box
+        box.append(_message("a", 1))
+        box.append(_message("a", 2))
+        assert len(box) == 2 and box
+        box.pop_match(Recv())
+        assert len(box) == 1
+
+
+class TestKernelStats:
+    def test_stats_track_the_run(self):
+        kernel = make_kernel()
+
+        def worker(ctx):
+            for _ in range(3):
+                yield ctx.sleep(1.0)
+
+        kernel.spawn("w", "n0", worker)
+        kernel.run()
+        stats = kernel.stats()
+        assert stats.events_fired == 4  # spawn resume + 3 sleep wake-ups
+        assert stats.events_scheduled == 4
+        assert stats.simulated_seconds == pytest.approx(3.0)
+        assert stats.wall_seconds >= 0.0
+        assert stats.wall_seconds_per_simulated_second is not None
+        assert kernel.trace.kernel_stats == stats
+
+    def test_stats_serialise(self):
+        kernel = make_kernel()
+
+        def worker(ctx):
+            yield ctx.compute(2.0)
+
+        kernel.spawn("w", "n0", worker)
+        kernel.run()
+        payload = kernel.stats().to_dict()
+        assert payload["events_fired"] > 0
+        assert payload["simulated_seconds"] == pytest.approx(kernel.now)
+        assert set(payload) >= {
+            "events_fired", "events_scheduled", "events_cancelled",
+            "peak_queue_size", "compactions", "wall_seconds",
+        }
+
+    def test_max_events_budget_ignores_cancelled_events(self):
+        # Schedule work whose completion events get cancelled and re-aimed by
+        # later arrivals; the max_events budget must count fired events only.
+        kernel = make_kernel(cores=1, freq=1.0, units_per_ghz=1.0)
+
+        def worker(ctx):
+            yield ctx.compute(1.0)
+
+        for name in ("a", "b", "c", "d"):
+            kernel.spawn(name, "n0", worker)
+        kernel.run(max_events=100)
+        assert kernel.all_finished()
+        assert kernel.stats().events_fired <= 100

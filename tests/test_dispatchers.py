@@ -131,6 +131,38 @@ class TestLastMinuteDispatcher:
         served_order = [name for name, _, _ in log]
         assert served_order == ["median-long", "median-short"]
 
+    def test_equal_moves_played_ties_break_by_arrival(self):
+        """Jobs with the same moves_played are served in arrival order (the
+        heap key (moves_played, arrival) must preserve the old min() scan)."""
+        kernel = make_kernel()
+        log = []
+
+        def median(ctx, delay):
+            yield ctx.sleep(delay)
+            yield ctx.send(
+                "dispatcher", DispatchRequest(median=ctx.name, moves_played=7), tag=TAG_DISPATCH
+            )
+            yield ctx.recv(source="dispatcher", tag=TAG_DISPATCH)
+            log.append(ctx.name)
+
+        def consumer(ctx):
+            yield ctx.send("dispatcher", DispatchRequest(median=ctx.name, moves_played=99), tag=TAG_DISPATCH)
+            yield ctx.recv(source="dispatcher", tag=TAG_DISPATCH)
+
+        def client(ctx):
+            for _ in range(3):
+                yield ctx.sleep(1.0)
+                yield ctx.send("dispatcher", ClientFree(client="c0"), tag=TAG_DISPATCH)
+
+        kernel.spawn("dispatcher", "n0", last_minute_dispatcher, ["c0"])
+        kernel.spawn("median-consumer", "n0", consumer)
+        kernel.spawn("median-first", "n0", lambda ctx: median(ctx, delay=0.1))
+        kernel.spawn("median-second", "n0", lambda ctx: median(ctx, delay=0.2))
+        kernel.spawn("median-third", "n0", lambda ctx: median(ctx, delay=0.3))
+        kernel.spawn("client-stub", "n0", client)
+        kernel.run()
+        assert log == ["median-first", "median-second", "median-third"]
+
     def test_fifo_ablation_serves_in_arrival_order(self):
         kernel = make_kernel()
         log = []
