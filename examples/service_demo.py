@@ -1,0 +1,107 @@
+"""Search as a service: one job server, many deduplicated clients.
+
+Spins up an in-process :class:`repro.ServiceServer` (the same stack
+``python -m repro serve`` runs) and shows the three ways a submission can
+resolve:
+
+1. a fresh spec is **queued** and executed;
+2. an identical submission arriving while the first is still running
+   **attaches** to the in-flight job — both clients stream the same events,
+   and exactly one search executes;
+3. re-submitting after completion answers **cached** straight from the
+   content-addressed result store, with zero searches.
+
+Run with:  python examples/service_demo.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+from pathlib import Path
+
+from repro import (
+    ResultStore,
+    SearchService,
+    ServiceClient,
+    ServiceServer,
+    SweepSpec,
+    SearchSpec,
+)
+
+STORE_DIR = Path(tempfile.gettempdir()) / "repro-service-demo"
+
+
+def main() -> None:
+    service = SearchService(store=ResultStore(STORE_DIR))
+    server = ServiceServer(service, port=0)  # 0 = pick an ephemeral port
+    address = server.start()
+    print(f"server listening on {address} (store: {STORE_DIR})\n")
+
+    # A small but real workload: first-move NMCS over a seed axis.
+    sweep = SweepSpec(
+        base=SearchSpec(workload="morpion-small", algorithm="nmcs", level=1, max_steps=1),
+        axes={"seed": (0, 1, 2, 3)},
+    )
+
+    # Two independent clients race to submit the SAME sweep.  One wins the
+    # queue; the other attaches to the in-flight job and simply follows it.
+    alice = ServiceClient(address, client="alice")
+    bob = ServiceClient(address, client="bob")
+    outcomes = {}
+
+    def run_as(name: str, client: ServiceClient) -> None:
+        outcomes[name] = client.run(
+            sweep=sweep,
+            on_event=lambda e: print(
+                f"  [{name}] {e['kind']:9s} cell {e['index']} "
+                f"({e['done']}/{e['total']})"
+            ),
+        )
+
+    threads = [
+        threading.Thread(target=run_as, args=(name, client))
+        for name, client in (("alice", alice), ("bob", bob))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    for name, outcome in sorted(outcomes.items()):
+        ack, job = outcome["submit"], outcome["job"]
+        print(
+            f"{name}: submitted as {ack['status']!r} -> job {job['id']} "
+            f"{job['state']}, scores "
+            f"{[r['score'] for r in outcome['reports']]}"
+        )
+    stats = service.service_stats()
+    print(
+        f"\none search ran for two submissions: "
+        f"searches_started={stats['searches_started']}, "
+        f"attached={stats['attached']}\n"
+    )
+
+    # Round three: everything is in the store now.  Re-running the sweep is
+    # instant (every cell answers with a `cached` event, no search), and a
+    # single-spec submission short-circuits at submit time: the ack itself
+    # says `cached` and the job is born complete.
+    rerun = alice.run(sweep=sweep)
+    print(
+        f"sweep re-run: {rerun['submit']['status']!r} ack, "
+        f"{rerun['counts']['cached']}/{rerun['counts']['total']} cells cached"
+    )
+    one = alice.run(sweep.base.replace(seed=0))
+    print(
+        f"single-spec re-run: {one['submit']['status']!r} ack — "
+        f"served from the store at submit time, score {one['reports'][0]['score']}"
+    )
+
+    print("\nshutting down (draining)...")
+    alice.shutdown(drain=True)
+    server.wait()
+    print("done — run me again and even the first submission comes back cached.")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,9 @@ The library is organised as:
 * :mod:`repro.timemodel`, :mod:`repro.analysis`, :mod:`repro.paperdata`,
   :mod:`repro.workloads` — cost model, reporting and the benchmark harness
   support code;
+* :mod:`repro.service` — search-as-a-service: a job server multiplexing
+  client submissions onto the Engine with queueing, dedup (store + in-flight),
+  rate limiting and a JSONL socket protocol (``repro serve``);
 * :mod:`repro.cli` — ``python -m repro`` command-line interface.
 
 Quickstart
@@ -102,6 +105,13 @@ from repro.parallel import (
     sequential_reference,
     threaded_nmcs,
 )
+from repro.service import (
+    SearchService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceServer,
+)
 from repro.timemodel import CostModel
 from repro.workloads import Workload, get_workload, list_workloads
 
@@ -169,6 +179,12 @@ __all__ = [
     "sequential_reference",
     "multiprocessing_nmcs",
     "threaded_nmcs",
+    # service
+    "SearchService",
+    "ServiceConfig",
+    "ServiceServer",
+    "ServiceClient",
+    "ServiceError",
     # support
     "CostModel",
     "Workload",

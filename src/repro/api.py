@@ -303,14 +303,22 @@ class RunReport:
         return len(self.sequence)
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-serialisable form (moves rendered with ``repr``, ``raw`` dropped)."""
+        """JSON-serialisable form (moves rendered with ``repr``, ``raw`` dropped).
+
+        Strings pass through unrendered, so a report rebuilt with
+        :meth:`from_dict` (whose sequence is already the rendered strings)
+        re-serialises to the identical document instead of double-quoting.
+        """
         return {
             "spec": self.spec.to_dict(),
             "algorithm": self.algorithm,
             "backend": self.backend,
             "level": self.level,
             "score": self.score,
-            "sequence": [repr(move) for move in self.sequence],
+            "sequence": [
+                move if isinstance(move, str) else repr(move)
+                for move in self.sequence
+            ],
             "sequence_length": self.sequence_length,
             "work_units": self.work_units,
             "simulated_seconds": self.simulated_seconds,
@@ -324,6 +332,34 @@ class RunReport:
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], *, raw: Any = None) -> "RunReport":
+        """Rebuild a report from its :meth:`to_dict` form.
+
+        The round-trip is exact for every numeric/count field; ``sequence``
+        comes back as the rendered move strings (``to_dict`` serialises moves
+        with ``repr``), so callers needing replayable ``Move`` objects must
+        re-run the spec instead.  ``raw`` attaches provenance (e.g. the store
+        record or wire message the report was decoded from).
+        """
+        return cls(
+            spec=SearchSpec.from_dict(data["spec"]),
+            algorithm=data["algorithm"],
+            backend=data["backend"],
+            level=data["level"],
+            score=data["score"],
+            sequence=tuple(data.get("sequence", ())),
+            work_units=data.get("work_units"),
+            simulated_seconds=data.get("simulated_seconds"),
+            wall_seconds=data.get("wall_seconds", 0.0),
+            n_jobs=data.get("n_jobs"),
+            n_workers=data.get("n_workers"),
+            comm=data.get("comm"),
+            client_utilisation=data.get("client_utilisation"),
+            kernel_stats=data.get("kernel_stats"),
+            raw=raw,
+        )
 
 
 # --------------------------------------------------------------------------- #
@@ -566,9 +602,50 @@ class RunEvent:
         """Whether this event ends its cell (cached / completed / failed)."""
         return self.kind != "started"
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (the service wire encoding).
+
+        ``error`` is rendered as ``"TypeName: message"`` — exceptions have no
+        faithful JSON form, so the round-trip through :meth:`from_dict` keeps
+        the message but not the original type or traceback.
+        """
+        return {
+            "kind": self.kind,
+            "index": self.index,
+            "total": self.total,
+            "spec": self.spec.to_dict(),
+            "report": None if self.report is None else self.report.to_dict(),
+            "error": None if self.error is None else f"{type(self.error).__name__}: {self.error}",
+            "done": self.done,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunEvent":
+        """Rebuild an event from its :meth:`to_dict` form.
+
+        A serialised ``error`` comes back as a ``RuntimeError`` carrying the
+        rendered message (see :meth:`to_dict`); everything else round-trips
+        exactly (``report`` via :meth:`RunReport.from_dict`).
+        """
+        report = data.get("report")
+        error = data.get("error")
+        return cls(
+            kind=data["kind"],
+            index=data["index"],
+            total=data["total"],
+            spec=SearchSpec.from_dict(data["spec"]),
+            report=None if report is None else RunReport.from_dict(report),
+            error=None if error is None else RuntimeError(error),
+            done=data.get("done", 0),
+        )
+
 
 #: What the batch layer accepts: a SweepSpec, or any iterable of specs/dicts.
 BatchInput = Union["SweepSpec", Iterable[Union[SearchSpec, Mapping[str, Any]]]]
+
+#: Sentinel returned by pooled cells that observed the cancel flag before
+#: starting; such cells emit no terminal event (mirrors the inline early-out).
+_CELL_SKIPPED = object()
 
 
 class Engine:
@@ -743,7 +820,11 @@ class Engine:
         cancel:
             A :class:`threading.Event` or zero-argument callable; when set,
             no further cell starts (cells already running finish and their
-            events are delivered).
+            events are delivered).  The pooled path honours this promptly
+            too: cells already submitted to the pool but not yet running
+            re-check the flag when their turn comes and are skipped without
+            executing (they emit no terminal event, so the stream may end
+            with ``done < total``, exactly like the inline path).
         refresh:
             Skip the store lookup (re-execute every cell) while still
             persisting results — a forced re-run against the same store.
@@ -805,9 +886,12 @@ class Engine:
         Cache hits resolve up front; remaining cells are submitted to a
         thread pool (``"started"`` is emitted at submission).  Store writes
         stay on the consumer thread, so a store never sees concurrent
-        writers from one batch.  With ``error_policy="raise"`` the first
-        failure cancels not-yet-started cells, drains the running ones, and
-        re-raises.
+        writers from one batch.  Each pooled cell re-checks ``cancelled``
+        the moment a worker picks it up, so setting the flag stops the
+        batch after at most ``max_workers`` in-flight cells — submitted
+        cells whose turn comes later are skipped without executing.  With
+        ``error_policy="raise"`` the first failure cancels not-yet-started
+        cells, drains the running ones, and re-raises.
         """
         done = 0
         pending: List[Tuple[int, SearchSpec]] = []
@@ -826,7 +910,7 @@ class Engine:
                 if cancelled():
                     break
                 yield RunEvent("started", index, total, spec, done=done)
-                futures[pool.submit(self.run, spec)] = (index, spec)
+                futures[pool.submit(self._run_unless_cancelled, spec, cancelled)] = (index, spec)
             for future in as_completed(futures):
                 index, spec = futures[future]
                 if future.cancelled():  # pragma: no cover - cancel() raced a start
@@ -841,12 +925,20 @@ class Engine:
                         for other in futures:
                             other.cancel()
                     continue
+                if report is _CELL_SKIPPED:
+                    continue
                 if store is not None:
                     store.put(spec, report)
                 done += 1
                 yield RunEvent("completed", index, total, spec, report=report, done=done)
         if first_error is not None:
             raise first_error
+
+    def _run_unless_cancelled(self, spec: SearchSpec, cancelled: Callable[[], bool]) -> Any:
+        """Pool task wrapper: skip cells whose cancel flag was set before they started."""
+        if cancelled():
+            return _CELL_SKIPPED
+        return self.run(spec)
 
     def run_many(
         self,

@@ -103,28 +103,31 @@ def build_parser() -> argparse.ArgumentParser:
     # Scenario flags use SUPPRESS defaults so that "explicitly passed" can be
     # told apart from "omitted": with --spec, only passed flags override the
     # document; without it, omitted flags fall back to SearchSpec's defaults.
+    def add_scenario_flags(p: argparse.ArgumentParser) -> None:
+        omit = argparse.SUPPRESS
+        p.add_argument("--spec", default=None, help="path to a SearchSpec JSON file, or an inline JSON object")
+        p.add_argument("--workload", default=omit, help="named workload (see 'workloads')")
+        p.add_argument("--algorithm", default=omit, help="registered algorithm (see 'workloads')")
+        p.add_argument("--backend", default=omit, help="registered backend (see 'workloads')")
+        p.add_argument("--level", type=int, default=omit, help="nesting level (default: workload low level)")
+        p.add_argument("--seed", type=int, default=omit, help="master random seed")
+        p.add_argument("--steps", type=int, default=omit, help="max root moves (omit to play the full game)")
+        p.add_argument("--first-move", action="store_true", default=omit, help="shorthand for --steps 1")
+        p.add_argument("--dispatcher", default=omit, help="rr or lm (sim-cluster backend)")
+        p.add_argument("--cluster", default=omit, help="cluster descriptor (sim-cluster backend)")
+        p.add_argument("--clients", type=int, default=omit, help="simulated clients (sim-cluster backend)")
+        p.add_argument("--medians", type=int, default=omit, help="median processes (sim-cluster backend)")
+        p.add_argument("--workers", type=int, default=omit, help="pool size (multiprocessing/threads backends)")
+        p.add_argument(
+            "--param",
+            action="append",
+            default=omit,
+            metavar="KEY=VALUE",
+            help="algorithm-specific parameter (repeatable); values are parsed as JSON when possible",
+        )
+
     p = sub.add_parser("run", help="run one algorithm × workload × backend scenario (repro.api)")
-    omit = argparse.SUPPRESS
-    p.add_argument("--spec", default=None, help="path to a SearchSpec JSON file, or an inline JSON object")
-    p.add_argument("--workload", default=omit, help="named workload (see 'workloads')")
-    p.add_argument("--algorithm", default=omit, help="registered algorithm (see 'workloads')")
-    p.add_argument("--backend", default=omit, help="registered backend (see 'workloads')")
-    p.add_argument("--level", type=int, default=omit, help="nesting level (default: workload low level)")
-    p.add_argument("--seed", type=int, default=omit, help="master random seed")
-    p.add_argument("--steps", type=int, default=omit, help="max root moves (omit to play the full game)")
-    p.add_argument("--first-move", action="store_true", default=omit, help="shorthand for --steps 1")
-    p.add_argument("--dispatcher", default=omit, help="rr or lm (sim-cluster backend)")
-    p.add_argument("--cluster", default=omit, help="cluster descriptor (sim-cluster backend)")
-    p.add_argument("--clients", type=int, default=omit, help="simulated clients (sim-cluster backend)")
-    p.add_argument("--medians", type=int, default=omit, help="median processes (sim-cluster backend)")
-    p.add_argument("--workers", type=int, default=omit, help="pool size (multiprocessing/threads backends)")
-    p.add_argument(
-        "--param",
-        action="append",
-        default=omit,
-        metavar="KEY=VALUE",
-        help="algorithm-specific parameter (repeatable); values are parsed as JSON when possible",
-    )
+    add_scenario_flags(p)
     add_json(p)
 
     p = sub.add_parser(
@@ -159,6 +162,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--csv", default=None, help="write the result rows as CSV to this path")
     p.add_argument("--rows", default=None, help="write the result rows as a JSON array to this path")
+    add_json(p)
+
+    p = sub.add_parser(
+        "serve", help="run the search-as-a-service job server (repro.service)"
+    )
+    p.add_argument("--host", default="127.0.0.1", help="TCP bind host")
+    p.add_argument("--port", type=int, default=7171, help="TCP bind port (0 = ephemeral)")
+    p.add_argument("--socket", default=None, help="serve on this unix socket path instead of TCP")
+    p.add_argument("--workers", type=int, default=2, help="persistent worker threads")
+    p.add_argument("--queue-depth", type=int, default=64, help="max pending jobs before backpressure rejections")
+    p.add_argument("--rate", type=float, default=None, help="per-client token-bucket refill (submissions/second)")
+    p.add_argument("--burst", type=float, default=None, help="per-client token-bucket capacity (default max(1, rate))")
+    p.add_argument("--store", default=None, help="ResultStore directory for dedup/cache (strongly recommended)")
+    p.add_argument(
+        "--ready-file",
+        default=None,
+        help="write the bound address to this file once listening (for scripts/CI)",
+    )
+    add_json(p)
+
+    p = sub.add_parser(
+        "submit", help="submit one scenario (or a sweep) to a running 'repro serve'"
+    )
+    p.add_argument("--connect", required=True, help="server address: HOST:PORT or unix:PATH")
+    add_scenario_flags(p)
+    p.add_argument("--sweep", default=None, help="SweepSpec JSON file or inline document (instead of a SearchSpec)")
+    p.add_argument("--client", default="cli", help="client identity (rate-limit / fairness bucket)")
+    p.add_argument("--priority", type=int, default=0, help="queue priority (lower pops first)")
+    p.add_argument("--no-wait", action="store_true", help="print the submission ack and exit without subscribing")
+    add_json(p)
+
+    p = sub.add_parser("jobs", help="list, cancel, or shut down jobs on a running 'repro serve'")
+    p.add_argument("--connect", required=True, help="server address: HOST:PORT or unix:PATH")
+    p.add_argument("--cancel", default=None, metavar="JOB_ID", help="cancel this job instead of listing")
+    p.add_argument("--shutdown", action="store_true", help="drain the server and stop it")
+    p.add_argument("--no-drain", action="store_true", help="with --shutdown: cancel pending jobs instead of draining")
     add_json(p)
 
     p = sub.add_parser("list", help="list registered algorithms, backends and workloads")
@@ -408,6 +447,158 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
     return 1 if counts["failed"] else 0
 
 
+def _serve_command(args: argparse.Namespace) -> int:
+    """The ``repro serve`` command: run the job server until shut down."""
+    from repro.service import SearchService, ServiceConfig, ServiceServer
+
+    try:
+        config = ServiceConfig(
+            n_workers=args.workers,
+            queue_depth=args.queue_depth,
+            rate=args.rate,
+            burst=args.burst,
+        )
+    except ValueError as exc:
+        _print_error(f"error: {exc}")
+        return 2
+    store = ResultStore(args.store) if args.store else None
+    service = SearchService(engine=Engine(), store=store, config=config)
+    server = ServiceServer(
+        service, host=args.host, port=args.port, socket_path=args.socket
+    )
+    try:
+        address = server.start()
+    except OSError as exc:
+        _print_error(f"error: cannot bind {args.socket or f'{args.host}:{args.port}'}: {exc}")
+        return 2
+    if args.ready_file:
+        Path(args.ready_file).write_text(address, encoding="utf-8")
+    if args.json:
+        _print_json({"address": address, "store": args.store, "workers": args.workers})
+        sys.stdout.flush()
+    _print_error(
+        f"repro service listening on {address} "
+        f"(workers={args.workers}, queue_depth={args.queue_depth}, "
+        f"store={args.store or 'none'}); submit with: repro submit --connect {address} ..."
+    )
+    try:
+        server.wait()  # returns when a client sends the shutdown verb
+    except KeyboardInterrupt:
+        _print_error("interrupted; cancelling pending jobs and shutting down")
+        service.shutdown(drain=False)
+        server.stop()
+    return 0
+
+
+def _submit_command(args: argparse.Namespace) -> int:
+    """The ``repro submit`` command: submit to a server and stream progress."""
+    from repro.service import ServiceClient, ServiceError
+
+    try:
+        if args.sweep is not None:
+            text = args.sweep
+            if not text.lstrip().startswith("{"):
+                text = Path(args.sweep).read_text(encoding="utf-8")
+            payload: Dict[str, Any] = {"sweep": SweepSpec.from_json(text).to_dict()}
+        else:
+            payload = {"spec": _spec_from_args(args).to_dict()}
+        client = ServiceClient(args.connect, client=args.client)
+        ack = client.submit(
+            payload.get("spec"), sweep=payload.get("sweep"), priority=args.priority
+        )
+    except (ServiceError, ValueError, KeyError, OSError) as exc:
+        _print_error(f"error: {exc}")
+        return 2
+    if ack["status"] == "rejected":
+        if args.json:
+            _print_json({"submit": ack, "job": None, "counts": None, "reports": []})
+        _print_error(f"rejected: {ack.get('reason')} (server {args.connect})")
+        return 1
+    if args.no_wait:
+        if args.json:
+            _print_json({"submit": ack})
+        else:
+            _print(f"job {ack['job_id']} {ack['status']} on {args.connect}")
+        return 0
+
+    def progress(event: Dict[str, Any]) -> None:
+        label = f"{event['spec'].get('workload')} seed={event['spec'].get('seed')}"
+        if event["kind"] == "started":
+            _print_error(f"[{event['done'] + 1}/{event['total']}] running   {label}")
+        elif event["kind"] == "failed":
+            _print_error(f"[{event['done']}/{event['total']}] FAILED    {label}: {event['error']}")
+        else:
+            suffix = " (cached)" if event["kind"] == "cached" else ""
+            score = event["report"]["score"] if event.get("report") else "?"
+            _print_error(f"[{event['done']}/{event['total']}] done      {label} score={score}{suffix}")
+
+    try:
+        outcome = client.wait(ack["job_id"], on_event=progress)
+    except (ServiceError, OSError) as exc:
+        _print_error(f"error: {exc}")
+        return 2
+    outcome["submit"] = ack
+    if len(outcome["reports"]) == 1:
+        outcome["report"] = outcome["reports"][0]
+    if args.json:
+        _print_json(outcome)
+    else:
+        job = outcome["job"]
+        _print(
+            f"job {job['id']} {job['state']} (submitted as {ack['status']}): "
+            f"{job['cells']['done']}/{job['cells']['total']} cells, "
+            f"{job['cells']['cached']} cached, {job['cells']['failed']} failed"
+        )
+        for report in outcome["reports"]:
+            _print(f"  score={report['score']:g} workload={report['spec']['workload']}")
+        if job["error"]:
+            _print(f"  error: {job['error']}")
+    return 0 if outcome["job"]["state"] == "completed" else 1
+
+
+def _jobs_command(args: argparse.Namespace) -> int:
+    """The ``repro jobs`` command: list/cancel jobs or stop the server."""
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.connect)
+    try:
+        if args.cancel:
+            payload: Dict[str, Any] = {"job": client.cancel(args.cancel)}
+            message = f"job {args.cancel} -> {payload['job']['state']}"
+        elif args.shutdown:
+            payload = client.shutdown(drain=not args.no_drain)
+            message = "server shutting down" + (" (draining)" if not args.no_drain else "")
+        else:
+            payload = client.jobs()
+            message = ""
+    except (ServiceError, ValueError, OSError) as exc:
+        _print_error(f"error: {exc}")
+        return 2
+    if args.json:
+        _print_json(payload)
+        return 0
+    if message:
+        _print(message)
+        return 0
+    jobs = payload["jobs"]
+    if not jobs:
+        _print("no jobs")
+    for job in jobs:
+        cells = job["cells"]
+        _print(
+            f"{job['id']:10s} {job['state']:10s} client={job['client']:12s} "
+            f"{job['kind']:6s} {cells['done']}/{cells['total']} cells "
+            f"({cells['cached']} cached, {cells['failed']} failed)"
+        )
+    stats = payload["stats"]
+    _print(
+        f"\nsubmitted: {stats['submitted']}  queued: {stats['queued']}  "
+        f"cached: {stats['cached']}  attached: {stats['attached']}  "
+        f"rejected: {stats['rejected_rate_limited'] + stats['rejected_queue_full'] + stats['rejected_shutting_down']}"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro`` (returns a process exit code)."""
     parser = build_parser()
@@ -430,6 +621,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             for name, description in listing.items():
                 _print(f"{kind + ' ' + name:28s} {description}")
         return 0
+
+    if args.command == "serve":
+        return _serve_command(args)
+
+    if args.command == "submit":
+        return _submit_command(args)
+
+    if args.command == "jobs":
+        return _jobs_command(args)
 
     if args.command == "run":
         try:

@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
@@ -39,6 +40,13 @@ __all__ = ["ResultStore", "StoreRecord"]
 
 #: A stored record: ``{"key", "salt", "created_at", "spec", "report"}``.
 StoreRecord = Dict[str, Any]
+
+#: Per-process write lock shared by every :class:`ResultStore` instance.
+#: ``os.replace`` keeps writes atomic across *processes*; this lock keeps the
+#: mkstemp/dump/replace path serialised across *threads* of one process (the
+#: service's worker pool races ``put`` on the same key), so concurrent writers
+#: degrade to last-writer-wins instead of interleaving temp-file churn.
+_WRITE_LOCK = threading.Lock()
 
 
 class ResultStore:
@@ -79,13 +87,24 @@ class ResultStore:
         return self.path_for(self.key(spec)).is_file()
 
     def load(self, key: str) -> Optional[StoreRecord]:
-        """The raw record for ``key``, or ``None`` when absent."""
+        """The raw record for ``key``, or ``None`` when absent or unreadable.
+
+        A truncated or otherwise corrupt record (killed writer, torn disk,
+        encoding damage) reads as *missing* rather than raising: the store's
+        contract is "a record may or may not exist", and a poisoned file
+        should cost a re-run, not crash a resume.  Records are also rejected
+        unless they decode to a JSON object (anything else cannot be a
+        :data:`StoreRecord`).
+        """
         path = self.path_for(key)
         try:
             with path.open("r", encoding="utf-8") as fh:
-                return json.load(fh)
-        except FileNotFoundError:
+                record = json.load(fh)
+        except (OSError, ValueError, UnicodeDecodeError):
+            # OSError covers the missing file; ValueError covers truncated /
+            # partial / non-JSON content (json.JSONDecodeError subclasses it).
             return None
+        return record if isinstance(record, dict) else None
 
     def get(self, spec: SearchSpec) -> Optional[RunReport]:
         """The stored report for ``spec``, or ``None`` when absent."""
@@ -134,17 +153,18 @@ class ResultStore:
         }
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(record, fh, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
+        with _WRITE_LOCK:
+            fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(record, fh, sort_keys=True)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
         return key
 
     def discard(self, spec: SearchSpec) -> bool:
@@ -161,21 +181,8 @@ class ResultStore:
     # ------------------------------------------------------------------ #
     @staticmethod
     def _report_from_record(record: StoreRecord) -> RunReport:
-        data = record["report"]
-        return RunReport(
-            spec=SearchSpec.from_dict(record["spec"]),
-            algorithm=data["algorithm"],
-            backend=data["backend"],
-            level=data["level"],
-            score=data["score"],
-            sequence=tuple(data.get("sequence", ())),
-            work_units=data.get("work_units"),
-            simulated_seconds=data.get("simulated_seconds"),
-            wall_seconds=data.get("wall_seconds", 0.0),
-            n_jobs=data.get("n_jobs"),
-            n_workers=data.get("n_workers"),
-            comm=data.get("comm"),
-            client_utilisation=data.get("client_utilisation"),
-            kernel_stats=data.get("kernel_stats"),
-            raw=record,
-        )
+        data = dict(record["report"])
+        # Records store the spec both at top level and inside the report's
+        # serialised form; the top-level copy is authoritative.
+        data["spec"] = record["spec"]
+        return RunReport.from_dict(data, raw=record)

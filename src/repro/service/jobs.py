@@ -1,0 +1,173 @@
+"""Job records: one submission's lifecycle, event history and subscriptions.
+
+A :class:`Job` is the unit the service schedules: a single
+:class:`~repro.api.SearchSpec` or a whole :class:`~repro.lab.sweep.SweepSpec`,
+identified by a content key (see ``SearchService``), owning a cooperative
+cancellation flag and an append-only history of wire-form
+:class:`~repro.api.RunEvent` dicts.
+
+The history doubles as the subscription layer: any number of subscribers read
+the same list through private cursors (:meth:`Job.next_events` /
+:meth:`Job.stream`), so a subscriber that attaches late — e.g. the second
+client of a deduplicated submission — replays everything the job already
+emitted before following it live.  One condition variable per job wakes every
+subscriber on publish and on the terminal transition.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Job", "JobState"]
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle: ``queued`` → ``running`` → one of the three terminal states."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: States after which a job's history can no longer grow.
+TERMINAL_STATES = frozenset(
+    {JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED}
+)
+
+
+class Job:
+    """One scheduled submission and everything observable about it."""
+
+    def __init__(
+        self,
+        job_id: str,
+        *,
+        client: str,
+        kind: str,
+        payload: Any,
+        key: str,
+        priority: int = 0,
+        total_cells: int = 1,
+    ) -> None:
+        self.id = job_id
+        self.client = client
+        #: ``"search"`` (one SearchSpec) or ``"sweep"`` (a SweepSpec).
+        self.kind = kind
+        self.payload = payload
+        #: Content key used for dedup (spec/sweep hash under the store salt).
+        self.key = key
+        self.priority = priority
+        self.total_cells = total_cells
+        #: Submissions coalesced onto this job (1 = just the original).
+        self.attached = 1
+        self.cancel_event = threading.Event()
+        self.state = JobState.QUEUED
+        self.error: Optional[str] = None
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.counts = {"cached": 0, "completed": 0, "failed": 0}
+        self._events: List[Dict[str, Any]] = []
+        self._cond = threading.Condition()
+
+    # ------------------------------------------------------------------ #
+    # State transitions (driven by the scheduler/worker)
+    # ------------------------------------------------------------------ #
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def mark_running(self) -> None:
+        with self._cond:
+            self.state = JobState.RUNNING
+            self.started_at = time.time()
+            self._cond.notify_all()
+
+    def publish(self, event: Dict[str, Any]) -> None:
+        """Append one wire-form event and wake every subscriber."""
+        with self._cond:
+            self._events.append(event)
+            kind = event.get("kind")
+            if kind in self.counts:
+                self.counts[kind] += 1
+            self._cond.notify_all()
+
+    def finish(self, state: JobState, error: Optional[str] = None) -> None:
+        """Enter a terminal state (idempotent) and release all subscribers."""
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"finish() needs a terminal state, got {state!r}")
+        with self._cond:
+            if self.terminal:
+                return
+            self.state = state
+            if error is not None:
+                self.error = error
+            self.finished_at = time.time()
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Subscription side
+    # ------------------------------------------------------------------ #
+    def next_events(
+        self, cursor: int, timeout: Optional[float] = None
+    ) -> Tuple[List[Dict[str, Any]], int, bool]:
+        """Events after ``cursor``: ``(batch, new_cursor, job_is_drained)``.
+
+        Blocks up to ``timeout`` (forever when ``None``) until there is
+        something past the cursor or the job turns terminal.  ``drained`` is
+        only ``True`` once the job is terminal *and* the caller has consumed
+        its whole history — the end-of-stream condition.
+        """
+        with self._cond:
+            if cursor >= len(self._events) and not self.terminal:
+                self._cond.wait(timeout)
+            batch = list(self._events[cursor:])
+            new_cursor = cursor + len(batch)
+            drained = self.terminal and new_cursor >= len(self._events)
+            return batch, new_cursor, drained
+
+    def stream(
+        self, *, replay: bool = True, poll: float = 0.5
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield wire-form events until the job is terminal and drained.
+
+        ``replay=True`` starts from the beginning of the history (late
+        subscribers see everything); ``replay=False`` follows live only.
+        ``poll`` bounds each wait so a subscriber never deadlocks on a missed
+        notification.
+        """
+        with self._cond:
+            cursor = 0 if replay else len(self._events)
+        while True:
+            batch, cursor, drained = self.next_events(cursor, timeout=poll)
+            for event in batch:
+                yield event
+            if drained:
+                return
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready status payload (the ``status``/``jobs`` verb schema)."""
+        with self._cond:
+            done = sum(self.counts.values())
+            return {
+                "id": self.id,
+                "client": self.client,
+                "kind": self.kind,
+                "state": self.state.value,
+                "priority": self.priority,
+                "key": self.key,
+                "attached": self.attached,
+                "cells": {"total": self.total_cells, "done": done, **self.counts},
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "error": self.error,
+            }

@@ -1,0 +1,92 @@
+"""The service's wire protocol: newline-delimited JSON over a byte stream.
+
+Framing
+-------
+One JSON object per line (``\\n`` terminated, UTF-8).  Clients write
+*request* lines; the server answers each request with one or more *response*
+lines on the same connection, in order.  Every response carries ``ok``
+(bool); failures carry ``error`` (str).  A connection may issue any number of
+requests sequentially.
+
+Requests name their verb with ``op``:
+
+=============  ============================================================
+``submit``     ``{"op": "submit", "spec": {...}}`` or ``{"sweep": {...}}``,
+               optional ``client`` (str) / ``priority`` (int).  One
+               response: the acknowledgement (``status`` =
+               queued/cached/attached/rejected, ``job_id`` when a job
+               exists — see ``SearchService.submit``).
+``status``     ``{"op": "status", "job_id": "..."}`` → ``{"ok", "job"}``.
+``jobs``       ``{"op": "jobs"}`` → ``{"ok", "jobs": [...], "stats"}``.
+``subscribe``  ``{"op": "subscribe", "job_id": "...", "replay": true}`` →
+               a stream of ``{"ok", "event": {...}}`` lines (wire-form
+               :class:`~repro.api.RunEvent` dicts, replayed from the start
+               when ``replay``), terminated by ``{"ok", "done": true,
+               "job": {...}}``.
+``cancel``     ``{"op": "cancel", "job_id": "..."}`` → ``{"ok", "job"}``.
+``shutdown``   ``{"op": "shutdown", "drain": true}`` → ``{"ok",
+               "shutting_down": true}``; the server drains and stops.
+``ping``       ``{"op": "ping"}`` → ``{"ok", "pong": true}``.
+=============  ============================================================
+
+This module also owns address parsing: ``"host:port"`` for TCP,
+``"unix:<path>"`` for unix-domain sockets.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Tuple, Union
+
+__all__ = [
+    "VERBS",
+    "decode_line",
+    "encode_line",
+    "error_payload",
+    "parse_address",
+]
+
+#: The verbs a server understands (documented above and in docs/SERVICE.md).
+VERBS = ("submit", "status", "subscribe", "cancel", "jobs", "shutdown", "ping")
+
+
+def encode_line(payload: Mapping[str, Any]) -> bytes:
+    """One wire frame: compact JSON + newline, UTF-8."""
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode_line(line: Union[bytes, str]) -> Dict[str, Any]:
+    """Parse one frame; raises ``ValueError`` unless it is a JSON object."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"bad JSON frame: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ValueError("a wire frame must be a JSON object")
+    return payload
+
+
+def error_payload(message: str) -> Dict[str, Any]:
+    """The uniform failure response."""
+    return {"ok": False, "error": message}
+
+
+def parse_address(address: str) -> Tuple[str, Any]:
+    """``("unix", path)`` or ``("tcp", (host, port))`` from an address string.
+
+    Accepted forms: ``unix:/run/repro.sock`` and ``host:port`` (the host may
+    be empty — ``":7171"`` — meaning localhost).
+    """
+    if address.startswith("unix:"):
+        path = address[len("unix:"):]
+        if not path:
+            raise ValueError("unix address needs a path: 'unix:/some/socket'")
+        return "unix", path
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"bad address {address!r}; expected 'host:port' or 'unix:<path>'"
+        )
+    return "tcp", (host or "127.0.0.1", int(port))

@@ -1,0 +1,93 @@
+"""Bounded, client-fair, priority job queue for the service scheduler.
+
+The paper's architecture lives or dies by keeping many workers saturated
+without letting any one submitter monopolise the cluster.  :class:`JobQueue`
+encodes that policy:
+
+* **bounded depth** — :meth:`push` raises :class:`QueueFull` once ``maxsize``
+  jobs are pending.  The service surfaces that as a *backpressure rejection*
+  (the client is told to retry later) instead of queueing unboundedly;
+* **per-client fairness** — pending jobs are bucketed by client and clients
+  are served round-robin, so a client that submits 100 jobs cannot starve a
+  client that submits 1;
+* **priorities** — within one client's bucket, lower ``priority`` values pop
+  first and ties break FIFO (a monotonic sequence number — never the job
+  object — is the heap tie-breaker).
+
+The queue stores jobs that may be cancelled while queued; it does not try to
+remove them (that would be O(n) in a heap).  Consumers skip jobs that are
+already terminal when popped — see ``SearchService._worker``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+__all__ = ["JobQueue", "QueueFull"]
+
+
+class QueueFull(RuntimeError):
+    """Raised by :meth:`JobQueue.push` when the queue is at its depth bound."""
+
+
+class JobQueue:
+    """A thread-safe bounded queue with per-client fairness and priorities.
+
+    Any object with ``client`` (str) and ``priority`` (int) attributes can be
+    queued; the service queues :class:`repro.service.jobs.Job` instances.
+    """
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        #: client -> min-heap of (priority, seq, job)
+        self._buckets: Dict[str, List[Tuple[int, int, Any]]] = {}
+        #: round-robin order over clients that currently have pending jobs
+        self._rotation: Deque[str] = deque()
+        self._seq = itertools.count()
+        self._size = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._size
+
+    def push(self, job: Any) -> None:
+        """Enqueue ``job``; raises :class:`QueueFull` at the depth bound."""
+        with self._not_empty:
+            if self._size >= self.maxsize:
+                raise QueueFull(
+                    f"job queue is full ({self.maxsize} pending); retry later"
+                )
+            bucket = self._buckets.get(job.client)
+            if bucket is None:
+                bucket = self._buckets[job.client] = []
+                self._rotation.append(job.client)
+            heapq.heappush(bucket, (job.priority, next(self._seq), job))
+            self._size += 1
+            self._not_empty.notify()
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """The next job under the fairness policy, or ``None`` on timeout.
+
+        Clients are served round-robin: each pop takes the best (priority,
+        FIFO) job of the least-recently-served client with pending work.
+        """
+        with self._not_empty:
+            if not self._not_empty.wait_for(lambda: self._size > 0, timeout):
+                return None
+            client = self._rotation.popleft()
+            bucket = self._buckets[client]
+            _, _, job = heapq.heappop(bucket)
+            if bucket:
+                self._rotation.append(client)
+            else:
+                del self._buckets[client]
+            self._size -= 1
+            return job

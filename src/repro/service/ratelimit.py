@@ -1,0 +1,83 @@
+"""Per-client token-bucket rate limiting for the service's submission path.
+
+A classic token bucket: each client owns a bucket of capacity ``burst`` that
+refills continuously at ``rate`` tokens per second; every submission spends
+one token, and a submission that finds the bucket empty is *rejected* (the
+service answers ``rejected/rate_limited`` — it never blocks the transport).
+
+The clock is injectable so tests can drive refill deterministically instead
+of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = ["TokenBucket", "ClientRateLimiter"]
+
+
+class TokenBucket:
+    """One client's bucket: ``burst`` capacity, ``rate`` tokens/second refill."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate < 0:
+            raise ValueError("rate must be >= 0")
+        if burst <= 0:
+            raise ValueError("burst must be > 0")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._last = clock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Spend ``tokens`` if available; never blocks."""
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + self.rate * (now - self._last))
+        self._last = now
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+
+class ClientRateLimiter:
+    """Lazily-created per-client :class:`TokenBucket`\\ s behind one lock.
+
+    ``rate=None`` disables limiting entirely (every :meth:`allow` returns
+    ``True`` and no state is kept).  ``burst`` defaults to ``max(1, rate)``
+    so a fresh client can always submit at least one job immediately.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float] = None,
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and rate < 0:
+            raise ValueError("rate must be >= 0 when given")
+        self.rate = rate
+        self.burst = burst if burst is not None else (max(1.0, rate) if rate else 1.0)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def allow(self, client: str) -> bool:
+        """Whether ``client`` may submit now (spends one token when limited)."""
+        if self.rate is None:
+            return True
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = TokenBucket(
+                    self.rate, self.burst, self._clock
+                )
+            return bucket.try_acquire()

@@ -1,0 +1,241 @@
+"""Asyncio JSONL transport: the socket front-end of a :class:`SearchService`.
+
+:class:`ServiceServer` runs an asyncio event loop on a dedicated thread and
+speaks the protocol of :mod:`repro.service.protocol` over TCP or a unix
+socket.  The split of labour with the threaded core is deliberate:
+
+* **fast verbs** (submit/status/jobs/cancel) only take locks, so they run on
+  a worker thread via ``run_in_executor`` and return one response line;
+* **subscribe** bridges the job's blocking event stream into the loop by
+  polling :meth:`repro.service.jobs.Job.next_events` in the executor —
+  events are written as they arrive, any number of connections may follow
+  the same job;
+* **shutdown** answers first, then drains the service and stops the loop.
+
+The server binds ``port=0`` to an ephemeral port and reports the bound
+address from :meth:`start`, which is what the tests and ``--ready-file`` use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import threading
+from typing import Any, Dict, Optional
+
+from repro.service.core import SearchService
+from repro.service.protocol import decode_line, encode_line, error_payload
+
+__all__ = ["ServiceServer"]
+
+#: Seconds each executor poll waits for new job events before rechecking.
+_SUBSCRIBE_POLL_S = 0.25
+
+
+class ServiceServer:
+    """Serve one :class:`SearchService` over TCP (``host:port``) or unix socket."""
+
+    def __init__(
+        self,
+        service: SearchService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        socket_path: Optional[str] = None,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        self.address: Optional[str] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> str:
+        """Start serving on a background thread; returns the bound address.
+
+        The service's worker pool is started too, so a
+        ``ServiceServer(SearchService(...)).start()`` is fully live.
+        """
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self.service.start()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-service-transport", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        assert self.address is not None
+        return self.address
+
+    def wait(self) -> None:
+        """Block until the server stops (shutdown verb or :meth:`stop`)."""
+        if self._thread is not None:
+            self._thread.join()
+
+    def stop(self) -> None:
+        """Stop the transport (idempotent); does not shut the service down."""
+        loop, stop_event = self._loop, self._stop_event
+        if loop is not None and stop_event is not None and loop.is_running():
+            loop.call_soon_threadsafe(stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+        except BaseException as exc:  # startup failures reach start()'s caller
+            if not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+            else:
+                raise
+        finally:
+            loop.close()
+
+    async def _main(self) -> None:
+        self._stop_event = asyncio.Event()
+        if self.socket_path is not None:
+            server = await asyncio.start_unix_server(self._handle, path=self.socket_path)
+            self.address = f"unix:{self.socket_path}"
+        else:
+            server = await asyncio.start_server(self._handle, self.host, self.port)
+            bound = server.sockets[0].getsockname()
+            self.address = f"{bound[0]}:{bound[1]}"
+        self._ready.set()
+        async with server:
+            await self._stop_event.wait()
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                if not line.strip():
+                    continue
+                try:
+                    request = decode_line(line)
+                except ValueError as exc:
+                    writer.write(encode_line(error_payload(str(exc))))
+                else:
+                    try:
+                        await self._dispatch(request, writer)
+                    except (ValueError, KeyError) as exc:
+                        message = exc.args[0] if exc.args else str(exc)
+                        writer.write(encode_line(error_payload(str(message))))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass  # client went away mid-stream; nothing to clean up
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _call(self, fn: Any, *args: Any, **kwargs: Any) -> Any:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, functools.partial(fn, *args, **kwargs))
+
+    async def _dispatch(
+        self, request: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        op = request.get("op")
+        if op == "ping":
+            writer.write(encode_line({"ok": True, "pong": True}))
+            return
+        if op == "submit":
+            payload = request.get("spec") if "spec" in request else request.get("sweep")
+            if payload is None:
+                raise ValueError("submit needs a 'spec' or 'sweep' document")
+            ack = await self._call(
+                self.service.submit,
+                payload,
+                client=str(request.get("client", "anon")),
+                priority=int(request.get("priority", 0)),
+            )
+            writer.write(encode_line({"ok": True, **ack}))
+            return
+        if op == "status":
+            snapshot = self.service.status(self._job_id(request))
+            if snapshot is None:
+                raise KeyError(f"unknown job {request.get('job_id')!r}")
+            writer.write(encode_line({"ok": True, "job": snapshot}))
+            return
+        if op == "jobs":
+            writer.write(
+                encode_line(
+                    {
+                        "ok": True,
+                        "jobs": self.service.jobs(),
+                        "stats": self.service.service_stats(),
+                    }
+                )
+            )
+            return
+        if op == "cancel":
+            snapshot = await self._call(self.service.cancel, self._job_id(request))
+            if snapshot is None:
+                raise KeyError(f"unknown job {request.get('job_id')!r}")
+            writer.write(encode_line({"ok": True, "job": snapshot}))
+            return
+        if op == "subscribe":
+            await self._subscribe(request, writer)
+            return
+        if op == "shutdown":
+            drain = bool(request.get("drain", True))
+            writer.write(encode_line({"ok": True, "shutting_down": True, "drain": drain}))
+            await writer.drain()
+            await self._call(self.service.shutdown, drain=drain)
+            assert self._stop_event is not None
+            self._stop_event.set()
+            return
+        raise ValueError(f"unknown op {op!r}; known ops: submit, status, subscribe, cancel, jobs, shutdown, ping")
+
+    @staticmethod
+    def _job_id(request: Dict[str, Any]) -> str:
+        job_id = request.get("job_id")
+        if not isinstance(job_id, str) or not job_id:
+            raise ValueError(f"{request.get('op')} needs a 'job_id' string")
+        return job_id
+
+    async def _subscribe(
+        self, request: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        job = self.service.job(self._job_id(request))
+        if job is None:
+            raise KeyError(f"unknown job {request.get('job_id')!r}")
+        replay = bool(request.get("replay", True))
+        cursor = 0
+        if not replay:
+            _, cursor, _ = job.next_events(cursor=0, timeout=0)
+        while True:
+            batch, cursor, drained = await self._call(
+                job.next_events, cursor, timeout=_SUBSCRIBE_POLL_S
+            )
+            for event in batch:
+                writer.write(encode_line({"ok": True, "event": event}))
+            if batch:
+                await writer.drain()
+            if drained:
+                writer.write(
+                    encode_line({"ok": True, "done": True, "job": job.snapshot()})
+                )
+                return

@@ -11,6 +11,7 @@ from repro.api import (
     ALGORITHMS,
     BACKENDS,
     Engine,
+    RunEvent,
     RunReport,
     SearchSpec,
     build_cluster,
@@ -111,6 +112,56 @@ class TestSearchSpec:
             SearchSpec(dispatcher="bogus")
         with pytest.raises(ValueError):
             SearchSpec(freq_ghz=0.0)
+
+
+class TestWireForms:
+    """to_dict/from_dict of RunReport and RunEvent — the service wire encoding."""
+
+    def test_run_report_round_trip(self):
+        report = Engine().run(SearchSpec(workload="leftmove", level=1, max_steps=1))
+        data = report.to_dict()
+        json.dumps(data)  # genuinely serialisable
+        restored = RunReport.from_dict(data, raw={"origin": "test"})
+        assert restored.spec == report.spec
+        assert restored.score == report.score
+        assert restored.work_units == report.work_units
+        assert restored.simulated_seconds == report.simulated_seconds
+        assert restored.raw == {"origin": "test"}
+        # Sequences come back as the rendered strings, and re-serialising is
+        # idempotent — no double-quoting on a second trip through the wire.
+        assert restored.to_dict() == data
+
+    def test_run_event_round_trip(self):
+        spec = SearchSpec(workload="leftmove", level=1, max_steps=1)
+        report = Engine().run(spec)
+        event = RunEvent("completed", 3, 8, spec, report=report, done=4)
+        data = event.to_dict()
+        json.dumps(data)
+        restored = RunEvent.from_dict(data)
+        assert (restored.kind, restored.index, restored.total, restored.done) == (
+            "completed", 3, 8, 4,
+        )
+        assert restored.spec == spec
+        assert restored.report.score == report.score
+        assert restored.error is None
+        assert restored.to_dict() == data
+
+    def test_failed_event_error_survives_as_message(self):
+        spec = SearchSpec(workload="leftmove")
+        event = RunEvent("failed", 0, 1, spec, error=ValueError("bad level"), done=1)
+        data = event.to_dict()
+        assert data["error"] == "ValueError: bad level"
+        restored = RunEvent.from_dict(data)
+        assert isinstance(restored.error, RuntimeError)
+        assert str(restored.error) == "ValueError: bad level"
+        assert restored.report is None
+
+    def test_started_event_round_trips_without_payload(self):
+        spec = SearchSpec(workload="leftmove")
+        event = RunEvent("started", 0, 2, spec)
+        restored = RunEvent.from_dict(event.to_dict())
+        assert restored.report is None and restored.error is None
+        assert not restored.terminal
 
 
 class TestRegistries:

@@ -286,3 +286,148 @@ class TestJsonOutput:
         assert main(["figure1", "--workload", "morpion-small", "--level", "1", "--sequential", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert "grid" in payload["data"]
+
+
+# The exact --json schemas of the service commands; downstream tooling keys
+# off these, so additions are fine but renames/removals must be deliberate.
+JOB_SNAPSHOT_KEYS = {
+    "id", "client", "kind", "state", "priority", "key", "attached",
+    "cells", "submitted_at", "started_at", "finished_at", "error",
+}
+CELLS_KEYS = {"total", "done", "cached", "completed", "failed"}
+STATS_KEYS = {
+    "submitted", "queued", "cached", "attached", "rejected_rate_limited",
+    "rejected_queue_full", "rejected_shutting_down", "searches_started",
+    "running", "inflight", "queue_size", "n_workers",
+}
+
+
+@pytest.fixture
+def service_address(tmp_path):
+    """A live in-process job server on an ephemeral port; yields its address."""
+    from repro.lab import ResultStore
+    from repro.service import SearchService, ServiceServer
+
+    service = SearchService(store=ResultStore(tmp_path / "store"))
+    server = ServiceServer(service, port=0)
+    address = server.start()
+    try:
+        yield address
+    finally:
+        service.shutdown(drain=False, timeout=5)
+        server.stop()
+
+
+class TestServiceCommands:
+    def test_service_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["serve", "--port", "0", "--workers", "4", "--rate", "2.5"],
+            ["serve", "--socket", "/tmp/x.sock", "--store", "results"],
+            ["submit", "--connect", ":7171", "--workload", "leftmove", "--json"],
+            ["submit", "--connect", ":7171", "--sweep", "doc.json", "--no-wait"],
+            ["jobs", "--connect", ":7171", "--json"],
+            ["jobs", "--connect", ":7171", "--cancel", "job-1"],
+            ["jobs", "--connect", ":7171", "--shutdown", "--no-drain"],
+        ):
+            assert parser.parse_args(argv) is not None
+
+    def test_submit_json_schema(self, service_address, capsys):
+        assert main(
+            ["submit", "--connect", service_address, "--json",
+             "--workload", "leftmove", "--level", "1", "--seed", "4"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"submit", "job", "counts", "reports", "report"}
+        assert payload["submit"]["status"] == "queued"
+        assert set(payload["job"]) == JOB_SNAPSHOT_KEYS
+        assert set(payload["job"]["cells"]) == CELLS_KEYS
+        assert payload["job"]["state"] == "completed"
+        assert payload["counts"] == payload["job"]["cells"]
+        assert payload["report"] == payload["reports"][0]
+        assert payload["report"]["score"] > 0
+
+    def test_submit_is_cached_on_second_run(self, service_address, capsys):
+        argv = ["submit", "--connect", service_address, "--json",
+                "--workload", "leftmove", "--level", "1", "--seed", "5"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["submit"]["status"] == "cached"
+        assert second["report"]["score"] == first["report"]["score"]
+
+    def test_submit_no_wait_returns_ack_only(self, service_address, capsys):
+        assert main(
+            ["submit", "--connect", service_address, "--json", "--no-wait",
+             "--workload", "leftmove", "--level", "1", "--seed", "6"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"submit"}
+        assert set(payload["submit"]) == {"status", "job_id", "state", "key"}
+
+    def test_submit_sweep_document(self, service_address, tmp_path, capsys):
+        doc = tmp_path / "sweep.json"
+        doc.write_text(json.dumps({
+            "base": {"workload": "leftmove", "level": 1, "max_steps": 1},
+            "axes": {"seed": [1, 2]},
+        }))
+        assert main(
+            ["submit", "--connect", service_address, "--sweep", str(doc), "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["job"]["kind"] == "sweep"
+        assert len(payload["reports"]) == 2
+        assert "report" not in payload  # only single-cell jobs get the alias
+
+    def test_submit_connection_failure_is_a_clean_error(self, capsys):
+        assert main(
+            ["submit", "--connect", "127.0.0.1:1", "--workload", "leftmove"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_jobs_json_schema(self, service_address, capsys):
+        assert main(
+            ["submit", "--connect", service_address, "--json",
+             "--workload", "leftmove", "--level", "1", "--seed", "7"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["jobs", "--connect", service_address, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"jobs", "stats"}
+        assert set(payload["stats"]) == STATS_KEYS
+        assert len(payload["jobs"]) == 1
+        assert set(payload["jobs"][0]) == JOB_SNAPSHOT_KEYS
+
+    def test_jobs_human_listing(self, service_address, capsys):
+        assert main(["jobs", "--connect", service_address]) == 0
+        out = capsys.readouterr().out
+        assert "no jobs" in out and "submitted: 0" in out
+
+    def test_serve_lifecycle_round_trip(self, tmp_path, capsys):
+        """``repro serve`` comes up, serves a submit, and exits on shutdown."""
+        import threading
+        import time
+
+        ready = tmp_path / "ready"
+        rc = []
+        thread = threading.Thread(
+            target=lambda: rc.append(
+                main(["serve", "--port", "0", "--ready-file", str(ready),
+                      "--store", str(tmp_path / "store")])
+            )
+        )
+        thread.start()
+        for _ in range(200):
+            if ready.exists():
+                break
+            time.sleep(0.05)
+        address = ready.read_text().strip()
+        assert main(
+            ["submit", "--connect", address, "--json",
+             "--workload", "leftmove", "--level", "1", "--seed", "8"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["job"]["state"] == "completed"
+        assert main(["jobs", "--connect", address, "--shutdown"]) == 0
+        thread.join(timeout=15)
+        assert not thread.is_alive() and rc == [0]

@@ -156,6 +156,45 @@ class TestResultStore:
         assert store.discard(BASE) is False
         assert len(store) == 0
 
+    def test_concurrent_writers_tolerated(self, tmp_path):
+        """Racing puts — same key and different keys — leave a sound store."""
+        store = ResultStore(tmp_path)
+        reports = {seed: Engine().run(BASE.replace(seed=seed)) for seed in range(4)}
+        errors = []
+
+        def writer(seed):
+            try:
+                for _ in range(10):
+                    store.put(BASE.replace(seed=seed), reports[seed])
+                    store.put(BASE, reports[0])  # everyone also hammers one key
+            except Exception as exc:  # pragma: no cover - the failure under test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(s,)) for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(store) == 4  # seeds 1..3 plus the shared BASE/seed-0 key
+        for seed in range(4):
+            assert store.get(BASE.replace(seed=seed)).score == reports[seed].score
+
+    def test_truncated_record_loads_as_none(self, tmp_path):
+        """A half-written/corrupt file reads as a miss, never an exception."""
+        store = ResultStore(tmp_path)
+        key = store.put(BASE, Engine().run(BASE))
+        path = store.path_for(key)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert store.load(key) is None
+        assert store.get(BASE) is None
+        # A syntactically valid record of the wrong shape is also a miss.
+        path.write_text('["not", "a", "record"]')
+        assert store.load(key) is None
+        # The cell is simply re-run on the next sweep, overwriting the junk.
+        (report,) = Engine().run_many([BASE], store=store)
+        assert store.get(BASE).score == report.score
+
 
 def _counting_algorithm(name, calls):
     @register_algorithm(name, description="test-only", supports_budget=False)
@@ -264,6 +303,53 @@ class TestBatchLayer:
             assert len(calls) == 2 and len(store) == 1
         finally:
             del ALGORITHMS["test-refresh"]
+
+    def test_pooled_cancellation_skips_unstarted_cells(self):
+        """A cancel observed mid-pool stops submitted-but-unstarted cells.
+
+        Two workers hold two cells open on a gate; the cancel flag is set
+        while the other four sit queued in the pool.  Those four must never
+        execute a search, and — like the inline path — they emit no terminal
+        event, so the stream ends with ``done < total``.
+        """
+        gate = threading.Event()
+        running = threading.Semaphore(0)
+        cancel = threading.Event()
+        calls = []
+
+        @register_algorithm("test-pool-cancel", description="test-only", supports_budget=False)
+        def _gated(state, level, seeds, counter, budget, params):
+            from repro.core.sample import sample
+
+            calls.append(1)
+            running.release()
+            assert gate.wait(timeout=30), "gate never released"
+            return sample(state, seeds=seeds, counter=counter)
+
+        try:
+            sweep = SweepSpec(
+                base=SearchSpec(workload="leftmove", algorithm="test-pool-cancel", level=0),
+                axes={"seed": (0, 1, 2, 3, 4, 5)},
+            )
+            events = []
+
+            def consume():
+                events.extend(Engine().stream(sweep, max_workers=2, cancel=cancel))
+
+            consumer = threading.Thread(target=consume)
+            consumer.start()
+            assert running.acquire(timeout=10) and running.acquire(timeout=10)
+            cancel.set()  # four cells are submitted to the pool, none started
+            gate.set()
+            consumer.join(timeout=30)
+            assert not consumer.is_alive()
+            assert len(calls) == 2  # only the two in-flight cells searched
+            kinds = [e.kind for e in events]
+            assert kinds.count("completed") == 2
+            assert "failed" not in kinds
+            assert events[-1].done == 2 < 6  # skipped cells have no terminal event
+        finally:
+            del ALGORITHMS["test-pool-cancel"]
 
     def test_run_many_rejects_a_bare_spec(self):
         with pytest.raises(TypeError, match="Engine.run"):

@@ -1,0 +1,450 @@
+"""Tests for repro.service — the search-as-a-service job server.
+
+The suites cover the threaded core directly (queue, rate limiter, service
+lifecycle, both dedup levels, cancellation, shutdown draining) and the
+socket transport + client end to end (TCP and unix socket), including the
+acceptance proof that two identical concurrent submissions execute exactly
+one search and a completed submission re-serves from the store with zero
+searches.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.api import ALGORITHMS, Engine, SearchSpec, register_algorithm
+from repro.core.sample import sample
+from repro.lab import ResultStore, SweepSpec
+from repro.service import (
+    ClientRateLimiter,
+    JobQueue,
+    QueueFull,
+    SearchService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceServer,
+    TokenBucket,
+)
+from repro.service.protocol import decode_line, encode_line, parse_address
+
+
+class _Recorder:
+    """A registrable algorithm that counts calls and can block on a gate.
+
+    ``started`` is set when a call begins; the call then waits on ``gate``
+    (pre-set by default, so unblocked unless a test clears it).
+    """
+
+    def __init__(self):
+        self.calls = []
+        self.started = threading.Event()
+        self.gate = threading.Event()
+        self.gate.set()
+
+    def __call__(self, state, level, seeds, counter, budget, params):
+        self.calls.append(threading.get_ident())
+        self.started.set()
+        assert self.gate.wait(timeout=30), "test gate never released"
+        return sample(state, seeds=seeds, counter=counter)
+
+
+@pytest.fixture
+def recorder():
+    """Register a fresh counting algorithm as ``svc-probe`` for one test."""
+    rec = _Recorder()
+    register_algorithm("svc-probe", description="service test probe")(rec)
+    try:
+        yield rec
+    finally:
+        del ALGORITHMS["svc-probe"]
+
+
+PROBE = SearchSpec(workload="leftmove", algorithm="svc-probe", level=0, seed=7)
+
+
+def _drain(service, job_id):
+    """Follow a job to the end in-process; returns its event list."""
+    return list(service.subscribe(job_id))
+
+
+# --------------------------------------------------------------------- #
+# JobQueue: priorities, fairness, backpressure
+# --------------------------------------------------------------------- #
+class _FakeJob:
+    def __init__(self, client, priority=0, tag=""):
+        self.client = client
+        self.priority = priority
+        self.tag = tag
+
+
+class TestJobQueue:
+    def test_priority_order_within_one_client(self):
+        q = JobQueue(maxsize=8)
+        q.push(_FakeJob("a", priority=5, tag="low"))
+        q.push(_FakeJob("a", priority=0, tag="high"))
+        q.push(_FakeJob("a", priority=0, tag="high2"))
+        assert [q.pop(0).tag for _ in range(3)] == ["high", "high2", "low"]
+
+    def test_round_robin_across_clients(self):
+        q = JobQueue(maxsize=8)
+        for tag in ("a1", "a2", "a3"):
+            q.push(_FakeJob("a", tag=tag))
+        q.push(_FakeJob("b", tag="b1"))
+        # Client b's single job must not starve behind a's backlog.
+        order = [q.pop(0).tag for _ in range(4)]
+        assert order.index("b1") < 2
+        assert [t for t in order if t.startswith("a")] == ["a1", "a2", "a3"]
+
+    def test_bounded_depth_rejects(self):
+        q = JobQueue(maxsize=2)
+        q.push(_FakeJob("a"))
+        q.push(_FakeJob("b"))
+        with pytest.raises(QueueFull):
+            q.push(_FakeJob("c"))
+        assert len(q) == 2
+
+    def test_pop_timeout_returns_none(self):
+        assert JobQueue(maxsize=1).pop(timeout=0.01) is None
+
+
+# --------------------------------------------------------------------- #
+# Rate limiting
+# --------------------------------------------------------------------- #
+class TestRateLimiting:
+    def test_token_bucket_burst_and_refill(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=lambda: now[0])
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()  # burst exhausted
+        now[0] += 1.0
+        assert bucket.try_acquire()  # one token refilled
+        assert not bucket.try_acquire()
+
+    def test_limiter_is_per_client(self):
+        now = [0.0]
+        limiter = ClientRateLimiter(rate=1.0, burst=1.0, clock=lambda: now[0])
+        assert limiter.allow("alice")
+        assert not limiter.allow("alice")
+        assert limiter.allow("bob")  # separate bucket
+
+    def test_none_rate_disables(self):
+        limiter = ClientRateLimiter(rate=None, burst=None)
+        assert all(limiter.allow("anyone") for _ in range(100))
+
+
+# --------------------------------------------------------------------- #
+# Service core lifecycle
+# --------------------------------------------------------------------- #
+class TestServiceLifecycle:
+    def test_happy_path_matches_direct_engine_run(self, recorder):
+        with SearchService() as service:
+            ack = service.submit(PROBE, client="t")
+            assert ack["status"] == "queued"
+            events = _drain(service, ack["job_id"])
+        assert [e["kind"] for e in events] == ["started", "completed"]
+        assert events[-1]["done"] == 1
+        snapshot = service.status(ack["job_id"])
+        assert snapshot["state"] == "completed"
+        assert snapshot["cells"] == {
+            "total": 1, "done": 1, "cached": 0, "completed": 1, "failed": 0,
+        }
+        direct = Engine().run(PROBE)
+        assert events[-1]["report"]["score"] == direct.score
+        assert len(recorder.calls) == 2  # one service run + the direct run
+
+    def test_dict_payloads_accepted(self, recorder):
+        with SearchService() as service:
+            ack = service.submit(PROBE.to_dict())
+            _drain(service, ack["job_id"])
+            assert service.status(ack["job_id"])["kind"] == "search"
+            sweep = SweepSpec(base=PROBE, axes={"seed": (1, 2)})
+            ack = service.submit(sweep.to_dict())
+            _drain(service, ack["job_id"])
+            assert service.status(ack["job_id"])["cells"]["done"] == 2
+
+    def test_malformed_payload_raises_value_error(self):
+        service = SearchService()  # not started: submit alone must validate
+        with pytest.raises(ValueError):
+            service.submit({"workload": "leftmove", "bogus_field": 1})
+        with pytest.raises(ValueError):
+            service.submit(42)
+
+    def test_inflight_dedup_executes_exactly_once(self, recorder):
+        recorder.gate.clear()
+        with SearchService() as service:
+            first = service.submit(PROBE, client="alice")
+            assert first["status"] == "queued"
+            assert recorder.started.wait(10)
+            second = service.submit(PROBE, client="bob")
+            assert second == {
+                "status": "attached",
+                "job_id": first["job_id"],
+                "state": "running",
+                "key": first["key"],
+            }
+            recorder.gate.set()
+            alice_events = _drain(service, first["job_id"])
+            bob_events = _drain(service, second["job_id"])
+        assert len(recorder.calls) == 1  # exactly one search for two submissions
+        assert alice_events == bob_events  # late subscriber replays history
+        assert service.status(first["job_id"])["attached"] == 2
+        assert service.service_stats()["attached"] == 1
+
+    def test_resubmission_after_completion_is_store_cached(self, recorder, tmp_path):
+        with SearchService(store=ResultStore(tmp_path / "store")) as service:
+            first = service.submit(PROBE)
+            _drain(service, first["job_id"])
+            again = service.submit(PROBE)
+            assert again["status"] == "cached"
+            assert again["job_id"] != first["job_id"]
+            events = _drain(service, again["job_id"])
+        assert len(recorder.calls) == 1  # zero searches for the re-submission
+        assert [e["kind"] for e in events] == ["cached"]
+        assert events[0]["report"]["score"] is not None
+        assert service.status(again["job_id"])["state"] == "completed"
+        assert service.service_stats()["searches_started"] == 1
+
+    def test_rate_limited_submission_rejected(self):
+        now = [0.0]
+        service = SearchService(  # never started: nothing should execute
+            config=ServiceConfig(rate=1.0, burst=2.0),
+            clock=lambda: now[0],
+        )
+        acks = [service.submit(PROBE.replace(seed=i), client="hot") for i in range(3)]
+        assert [a["status"] for a in acks] == ["queued", "queued", "rejected"]
+        assert acks[2]["reason"] == "rate_limited"
+        # An unrelated client is not penalised, and time refills the bucket.
+        assert service.submit(PROBE.replace(seed=9), client="cold")["status"] == "queued"
+        now[0] += 1.0
+        assert service.submit(PROBE.replace(seed=3), client="hot")["status"] == "queued"
+        assert service.service_stats()["rejected_rate_limited"] == 1
+
+    def test_full_queue_rejected_with_backpressure(self):
+        service = SearchService(config=ServiceConfig(queue_depth=2))
+        assert service.submit(PROBE.replace(seed=0))["status"] == "queued"
+        assert service.submit(PROBE.replace(seed=1))["status"] == "queued"
+        overflow = service.submit(PROBE.replace(seed=2))
+        assert overflow == {
+            "status": "rejected", "reason": "queue_full", "queue_depth": 2,
+        }
+        assert service.service_stats()["rejected_queue_full"] == 1
+
+    def test_cancel_queued_job_is_immediate(self):
+        service = SearchService()  # no workers: the job stays queued
+        ack = service.submit(PROBE)
+        snapshot = service.cancel(ack["job_id"])
+        assert snapshot["state"] == "cancelled"
+        # The key is freed: an identical submission makes a fresh job.
+        assert service.submit(PROBE)["status"] == "queued"
+
+    def test_cancel_running_sweep_stops_at_cell_boundary(self, recorder):
+        recorder.gate.clear()
+        sweep = SweepSpec(base=PROBE, axes={"seed": (0, 1, 2, 3)})
+        with SearchService(config=ServiceConfig(n_workers=1)) as service:
+            ack = service.submit(sweep)
+            assert recorder.started.wait(10)  # first cell is mid-search
+            service.cancel(ack["job_id"])
+            recorder.gate.set()  # let the in-flight cell finish
+            _drain(service, ack["job_id"])
+        snapshot = service.status(ack["job_id"])
+        assert snapshot["state"] == "cancelled"
+        assert len(recorder.calls) < 4  # later cells were never searched
+        assert snapshot["cells"]["done"] < 4
+
+    def test_cancel_unknown_job_returns_none(self):
+        assert SearchService().cancel("job-999") is None
+
+    def test_shutdown_drains_then_rejects(self, recorder):
+        service = SearchService().start()
+        acks = [service.submit(PROBE.replace(seed=i)) for i in range(3)]
+        service.shutdown(drain=True, timeout=30)
+        states = {service.status(a["job_id"])["state"] for a in acks}
+        assert states == {"completed"}
+        late = service.submit(PROBE.replace(seed=99))
+        assert late == {"status": "rejected", "reason": "shutting_down"}
+
+    def test_shutdown_without_drain_cancels_pending(self):
+        service = SearchService()  # no workers, so queued jobs cannot run
+        ack = service.submit(PROBE)
+        service.shutdown(drain=False, timeout=1)
+        assert service.status(ack["job_id"])["state"] == "cancelled"
+
+    def test_subscribe_unknown_job_raises(self):
+        with pytest.raises(KeyError, match="job-404"):
+            SearchService().subscribe("job-404")
+
+
+# --------------------------------------------------------------------- #
+# Protocol helpers
+# --------------------------------------------------------------------- #
+class TestProtocol:
+    def test_frame_round_trip(self):
+        frame = encode_line({"op": "ping", "n": 1})
+        assert frame.endswith(b"\n")
+        assert decode_line(frame) == {"op": "ping", "n": 1}
+
+    def test_decode_rejects_junk(self):
+        with pytest.raises(ValueError, match="bad JSON frame"):
+            decode_line(b"not json\n")
+        with pytest.raises(ValueError, match="JSON object"):
+            decode_line(b"[1,2]\n")
+
+    def test_parse_address_forms(self):
+        assert parse_address("unix:/tmp/x.sock") == ("unix", "/tmp/x.sock")
+        assert parse_address("10.0.0.1:7171") == ("tcp", ("10.0.0.1", 7171))
+        assert parse_address(":7171") == ("tcp", ("127.0.0.1", 7171))
+        for bad in ("unix:", "nocolon", "host:port"):
+            with pytest.raises(ValueError):
+                parse_address(bad)
+
+
+# --------------------------------------------------------------------- #
+# Transport + client, end to end
+# --------------------------------------------------------------------- #
+@pytest.fixture
+def served(tmp_path):
+    """A live server on an ephemeral TCP port, store-backed; yields a client."""
+    service = SearchService(store=ResultStore(tmp_path / "store"))
+    server = ServiceServer(service, port=0)
+    address = server.start()
+    try:
+        yield ServiceClient(address, client="pytest"), service
+    finally:
+        service.shutdown(drain=False, timeout=5)
+        server.stop()
+
+
+class TestTransport:
+    def test_ping_and_unknown_op(self, served):
+        client, _ = served
+        assert client.ping()
+        with pytest.raises(ServiceError, match="unknown op"):
+            client._request({"op": "frobnicate"})
+
+    def test_run_round_trip_matches_engine(self, served, recorder):
+        client, _ = served
+        outcome = client.run(PROBE)
+        assert outcome["submit"]["status"] == "queued"
+        assert outcome["job"]["state"] == "completed"
+        assert outcome["counts"]["completed"] == 1
+        assert outcome["reports"][0]["score"] == Engine().run(PROBE).score
+
+    def test_wire_dedup_inflight_and_cached(self, served, recorder):
+        """The acceptance proof, through the socket: two identical submissions
+        → one search; a post-completion re-run → zero searches."""
+        client, service = served
+        recorder.gate.clear()
+        first = client.submit(PROBE)
+        assert first["status"] == "queued"
+        assert recorder.started.wait(10)
+        second = client.submit(PROBE)
+        assert second["status"] == "attached"
+        assert second["job_id"] == first["job_id"]
+        recorder.gate.set()
+        outcome_a = client.wait(first["job_id"])
+        outcome_b = client.wait(second["job_id"])
+        assert outcome_a["reports"] == outcome_b["reports"]
+        assert len(recorder.calls) == 1
+        # Now terminal: the same spec re-served from the store, no search.
+        rerun = client.run(PROBE)
+        assert rerun["submit"]["status"] == "cached"
+        assert rerun["counts"]["cached"] == 1
+        assert rerun["reports"] == outcome_a["reports"]
+        assert len(recorder.calls) == 1
+        assert service.service_stats()["searches_started"] == 1
+
+    def test_concurrent_submitters_share_one_execution(self, served, recorder):
+        client, service = served
+        recorder.gate.clear()
+        outcomes = [None, None]
+
+        def runner(slot):
+            outcomes[slot] = client.run(PROBE.replace(seed=42))
+
+        threads = [threading.Thread(target=runner, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        assert recorder.started.wait(10)
+        # Hold the search open until BOTH submissions registered, so the
+        # late one must dedup against the in-flight job, never the store.
+        deadline = time.monotonic() + 10
+        while service.service_stats()["submitted"] < 2:
+            assert time.monotonic() < deadline, "second submission never arrived"
+            time.sleep(0.01)
+        recorder.gate.set()
+        for t in threads:
+            t.join(timeout=30)
+        assert all(o is not None for o in outcomes)
+        assert {o["submit"]["status"] for o in outcomes} == {"queued", "attached"}
+        assert outcomes[0]["reports"] == outcomes[1]["reports"]
+        assert len(recorder.calls) == 1
+
+    def test_status_jobs_and_cancel_verbs(self, served, recorder):
+        client, _ = served
+        outcome = client.run(PROBE)
+        job_id = outcome["job"]["id"]
+        assert client.status(job_id)["state"] == "completed"
+        listing = client.jobs()
+        assert any(j["id"] == job_id for j in listing["jobs"])
+        assert listing["stats"]["submitted"] >= 1
+        with pytest.raises(ServiceError, match="unknown job"):
+            client.status("job-404")
+        with pytest.raises(ServiceError, match="unknown job"):
+            client.cancel("job-404")
+        with pytest.raises(ServiceError, match="unknown job"):
+            list(client.subscribe("job-404"))
+
+    def test_sweep_submission_streams_all_cells(self, served, recorder):
+        client, _ = served
+        sweep = SweepSpec(base=PROBE, axes={"seed": (1, 2, 3)})
+        seen = []
+        outcome = client.run(sweep=sweep, on_event=lambda e: seen.append(e["kind"]))
+        assert outcome["job"]["kind"] == "sweep"
+        assert outcome["counts"]["done"] == 3
+        assert len(outcome["reports"]) == 3
+        assert seen.count("completed") == 3
+
+    def test_rejected_ack_is_returned_not_raised(self, tmp_path):
+        service = SearchService(config=ServiceConfig(rate=0.001, burst=1.0))
+        server = ServiceServer(service, port=0)
+        client = ServiceClient(server.start())
+        try:
+            assert client.submit(PROBE)["status"] == "queued"
+            rejected = client.submit(PROBE.replace(seed=1))
+            assert rejected == {"status": "rejected", "reason": "rate_limited"}
+            with pytest.raises(ServiceError, match="rate_limited"):
+                client.run(PROBE.replace(seed=2))
+        finally:
+            service.shutdown(drain=False, timeout=5)
+            server.stop()
+
+    def test_shutdown_verb_stops_the_server(self, recorder):
+        service = SearchService()
+        server = ServiceServer(service, port=0)
+        client = ServiceClient(server.start())
+        outcome = client.run(PROBE)
+        assert outcome["job"]["state"] == "completed"
+        assert client.shutdown(drain=True)["shutting_down"]
+        server.wait()  # returns only once the loop stopped
+        with pytest.raises(OSError):
+            client.ping()
+
+    def test_unix_socket_round_trip(self, tmp_path, recorder):
+        service = SearchService()
+        server = ServiceServer(service, socket_path=str(tmp_path / "svc.sock"))
+        address = server.start()
+        assert address == f"unix:{tmp_path / 'svc.sock'}"
+        client = ServiceClient(address)
+        try:
+            assert client.ping()
+            assert client.run(PROBE)["job"]["state"] == "completed"
+        finally:
+            service.shutdown(drain=False, timeout=5)
+            server.stop()
+
+    def test_bad_address_fails_fast(self):
+        with pytest.raises(ValueError, match="expected 'host:port'"):
+            ServiceClient("nonsense")
