@@ -24,6 +24,10 @@ The library is organised as:
 * :mod:`repro.service` — search-as-a-service: a job server multiplexing
   client submissions onto the Engine with queueing, dedup (store + in-flight),
   rate limiting and a JSONL socket protocol (``repro serve``);
+* :mod:`repro.obs` — opt-in telemetry: process-wide metrics registry,
+  tracing spans (``RunReport.telemetry``), the rollout profiler
+  (``repro profile``) and live exposition (``repro stats``, the service's
+  ``metrics`` verb); zero overhead while disabled;
 * :mod:`repro.cli` — ``python -m repro`` command-line interface.
 
 Quickstart

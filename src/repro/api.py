@@ -87,6 +87,9 @@ from repro.parallel.driver import run_parallel_nmcs
 from repro.parallel.jobs import CachingJobExecutor, JobExecutor
 from repro.parallel.multiproc import multiprocessing_nmcs
 from repro.parallel.threads import threaded_nmcs
+from repro.obs import metrics as _obs_metrics
+from repro.obs import span as _obs_span
+from repro.obs import enabled as _obs_enabled
 from repro.prng import SeedSequence
 from repro.timemodel.cost import CostModel
 from repro.workloads import Workload, get_workload
@@ -110,6 +113,31 @@ __all__ = [
     "build_cluster",
     "to_jsonable",
 ]
+
+
+# --------------------------------------------------------------------------- #
+# Telemetry (no-ops unless repro.obs is enabled)
+# --------------------------------------------------------------------------- #
+_RUNS_TOTAL = _obs_metrics.counter(
+    "repro_engine_runs_total",
+    "Engine.run calls completed, by execution backend",
+    labelnames=("backend",),
+)
+_RUN_SECONDS = _obs_metrics.histogram(
+    "repro_engine_run_seconds",
+    "wall-clock seconds per Engine.run, by execution backend",
+    labelnames=("backend",),
+)
+_CELLS_TOTAL = _obs_metrics.counter(
+    "repro_engine_cells_total",
+    "batch cells streamed by Engine.stream, by event kind",
+    labelnames=("kind",),
+)
+#: Pre-bound children so the stream hot path pays one flag check per event.
+_CELL_EVENTS = {
+    kind: _CELLS_TOTAL.labels(kind=kind)
+    for kind in ("started", "cached", "completed", "failed")
+}
 
 
 # --------------------------------------------------------------------------- #
@@ -296,6 +324,9 @@ class RunReport:
     #: Event-loop diagnostics of simulated backends (see
     #: :class:`repro.cluster.simulator.KernelStats`; None for real substrates).
     kernel_stats: Optional[Dict[str, Any]] = None
+    #: Span-summary cost breakdown of the run (see :mod:`repro.obs.tracing`);
+    #: populated by :meth:`Engine.run` only while observability is enabled.
+    telemetry: Optional[Dict[str, Any]] = None
     raw: Any = field(default=None, repr=False, compare=False)
 
     @property
@@ -328,6 +359,7 @@ class RunReport:
             "comm": to_jsonable(self.comm),
             "client_utilisation": self.client_utilisation,
             "kernel_stats": to_jsonable(self.kernel_stats),
+            "telemetry": to_jsonable(self.telemetry),
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -358,6 +390,7 @@ class RunReport:
             comm=data.get("comm"),
             client_utilisation=data.get("client_utilisation"),
             kernel_stats=data.get("kernel_stats"),
+            telemetry=data.get("telemetry"),
             raw=raw,
         )
 
@@ -736,7 +769,20 @@ class Engine:
             network=self.network,
             cluster=cluster,
         )
-        return backend.fn(spec, algorithm, ctx)
+        with _obs_span(
+            "engine.run",
+            backend=spec.backend,
+            algorithm=spec.algorithm,
+            workload=spec.workload,
+        ) as root_span:
+            wall_start = time.perf_counter()
+            report = backend.fn(spec, algorithm, ctx)
+        if _obs_enabled():
+            wall = time.perf_counter() - wall_start
+            _RUNS_TOTAL.labels(backend=spec.backend).inc()
+            _RUN_SECONDS.labels(backend=spec.backend).observe(wall)
+            report.telemetry = root_span.summary()
+        return report
 
     # ------------------------------------------------------------------ #
     # Batch layer
@@ -855,13 +901,16 @@ class Engine:
                 report = store.get(spec)
                 if report is not None:
                     done += 1
+                    _CELL_EVENTS["cached"].inc()
                     yield RunEvent("cached", index, total, spec, report=report, done=done)
                     continue
+            _CELL_EVENTS["started"].inc()
             yield RunEvent("started", index, total, spec, done=done)
             try:
                 report = self.run(spec)
             except Exception as exc:
                 done += 1
+                _CELL_EVENTS["failed"].inc()
                 yield RunEvent("failed", index, total, spec, error=exc, done=done)
                 if error_policy == "raise":
                     raise
@@ -869,6 +918,7 @@ class Engine:
             if store is not None:
                 store.put(spec, report)
             done += 1
+            _CELL_EVENTS["completed"].inc()
             yield RunEvent("completed", index, total, spec, report=report, done=done)
 
     def _stream_pooled(
@@ -900,6 +950,7 @@ class Engine:
                 report = store.get(spec)
                 if report is not None:
                     done += 1
+                    _CELL_EVENTS["cached"].inc()
                     yield RunEvent("cached", index, total, spec, report=report, done=done)
                     continue
             pending.append((index, spec))
@@ -909,6 +960,7 @@ class Engine:
             for index, spec in pending:
                 if cancelled():
                     break
+                _CELL_EVENTS["started"].inc()
                 yield RunEvent("started", index, total, spec, done=done)
                 futures[pool.submit(self._run_unless_cancelled, spec, cancelled)] = (index, spec)
             for future in as_completed(futures):
@@ -919,6 +971,7 @@ class Engine:
                     report = future.result()
                 except Exception as exc:
                     done += 1
+                    _CELL_EVENTS["failed"].inc()
                     yield RunEvent("failed", index, total, spec, error=exc, done=done)
                     if error_policy == "raise" and first_error is None:
                         first_error = exc
@@ -930,6 +983,7 @@ class Engine:
                 if store is not None:
                     store.put(spec, report)
                 done += 1
+                _CELL_EVENTS["completed"].inc()
                 yield RunEvent("completed", index, total, spec, report=report, done=done)
         if first_error is not None:
             raise first_error

@@ -200,6 +200,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-drain", action="store_true", help="with --shutdown: cancel pending jobs instead of draining")
     add_json(p)
 
+    p = sub.add_parser("stats", help="live telemetry of a running 'repro serve' (metrics verb)")
+    p.add_argument("--connect", required=True, help="server address: HOST:PORT or unix:PATH")
+    p.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print Prometheus text exposition format instead of the summary",
+    )
+    add_json(p)
+
+    p = sub.add_parser(
+        "profile", help="profile the rollout hot path: seeded playouts under spans + cProfile"
+    )
+    p.add_argument(
+        "games",
+        nargs="*",
+        default=[],
+        help="workloads to profile (default: the curated six-game roster)",
+    )
+    p.add_argument("--playouts", type=int, default=200, help="playouts per game")
+    p.add_argument("--seed", type=int, default=0, help="master random seed")
+    p.add_argument("--top", type=int, default=8, help="hotspot functions reported per game")
+    p.add_argument(
+        "--no-cprofile", action="store_true", help="skip the cProfile pass (spans only; faster)"
+    )
+    p.add_argument(
+        "--out",
+        default="benchmarks/results/BENCH_rollout_hotpath.json",
+        help="JSON-array trajectory file to append the document to ('' = don't write)",
+    )
+    add_json(p)
+
     p = sub.add_parser("list", help="list registered algorithms, backends and workloads")
     add_json(p)
 
@@ -449,8 +480,12 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
 
 def _serve_command(args: argparse.Namespace) -> int:
     """The ``repro serve`` command: run the job server until shut down."""
+    from repro import obs
     from repro.service import SearchService, ServiceConfig, ServiceServer
 
+    # A server always records telemetry: the metrics verb and `repro stats`
+    # are only useful when the counters actually move.
+    obs.enable()
     try:
         config = ServiceConfig(
             n_workers=args.workers,
@@ -588,7 +623,8 @@ def _jobs_command(args: argparse.Namespace) -> int:
         _print(
             f"{job['id']:10s} {job['state']:10s} client={job['client']:12s} "
             f"{job['kind']:6s} {cells['done']}/{cells['total']} cells "
-            f"({cells['cached']} cached, {cells['failed']} failed)"
+            f"({cells['cached']} cached, {cells['failed']} failed) "
+            f"wait={job['queue_wait_seconds']:.2f}s wall={job['wall_seconds']:.2f}s"
         )
     stats = payload["stats"]
     _print(
@@ -596,6 +632,113 @@ def _jobs_command(args: argparse.Namespace) -> int:
         f"cached: {stats['cached']}  attached: {stats['attached']}  "
         f"rejected: {stats['rejected_rate_limited'] + stats['rejected_queue_full'] + stats['rejected_shutting_down']}"
     )
+    return 0
+
+
+def _metric_total(snapshot: Dict[str, Any], name: str) -> float:
+    """Sum of a counter/gauge family across all label series (0 if absent)."""
+    family = snapshot.get(name)
+    if not family:
+        return 0.0
+    return sum(entry["value"] for entry in family["values"])
+
+
+def _histogram_totals(snapshot: Dict[str, Any], name: str) -> "tuple[float, float]":
+    """``(count, sum)`` of a histogram family across all label series."""
+    family = snapshot.get(name)
+    if not family:
+        return 0.0, 0.0
+    count = sum(entry["count"] for entry in family["values"])
+    total = sum(entry["sum"] for entry in family["values"])
+    return count, total
+
+
+def _render_stats(snapshot: Dict[str, Any], service: Dict[str, Any]) -> str:
+    """Human summary of the server's telemetry (the ``repro stats`` output)."""
+    hits = _metric_total(snapshot, "repro_store_hits_total")
+    misses = _metric_total(snapshot, "repro_store_misses_total")
+    lookups = hits + misses
+    hit_rate = f" ({100.0 * hits / lookups:.0f}% hit rate)" if lookups else ""
+    jobs_n, jobs_s = _histogram_totals(snapshot, "repro_service_job_seconds")
+    wait_n, wait_s = _histogram_totals(snapshot, "repro_service_queue_wait_seconds")
+    runs = _metric_total(snapshot, "repro_engine_runs_total")
+    runs_n, runs_s = _histogram_totals(snapshot, "repro_engine_run_seconds")
+    cells = snapshot.get("repro_engine_cells_total", {"values": []})
+    cell_counts = {e["labels"]["kind"]: e["value"] for e in cells["values"]}
+    lines = [
+        f"store:   {hits:.0f} hits, {misses:.0f} misses, "
+        f"{_metric_total(snapshot, 'repro_store_writes_total'):.0f} writes{hit_rate}",
+        f"queue:   depth {_metric_total(snapshot, 'repro_service_queue_depth'):.0f}, "
+        f"{_metric_total(snapshot, 'repro_service_queue_pushed_total'):.0f} pushed, "
+        f"{_metric_total(snapshot, 'repro_service_rate_limited_total'):.0f} rate-limited",
+        f"jobs:    {jobs_n:.0f} finished"
+        + (f", mean {jobs_s / jobs_n:.2f}s submit-to-finish" if jobs_n else "")
+        + (f", mean queue wait {wait_s / wait_n * 1e3:.1f}ms" if wait_n else ""),
+        f"engine:  {runs:.0f} runs"
+        + (f", mean {runs_s / runs_n:.2f}s" if runs_n else "")
+        + "; cells "
+        + ", ".join(
+            f"{cell_counts.get(kind, 0.0):.0f} {kind}"
+            for kind in ("started", "cached", "completed", "failed")
+        ),
+        "service: "
+        + "  ".join(f"{key}={value}" for key, value in sorted(service.items())),
+    ]
+    if not lookups and not jobs_n and not runs:
+        lines.append(
+            "(all zero? the server records telemetry from startup; "
+            "counters move once jobs run)"
+        )
+    return "\n".join(lines)
+
+
+def _stats_command(args: argparse.Namespace) -> int:
+    """The ``repro stats`` command: query a server's ``metrics`` verb."""
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.connect)
+    try:
+        if args.prometheus:
+            sys.stdout.write(client.metrics(format="prometheus")["text"])
+            return 0
+        payload = client.metrics()
+    except (ServiceError, ValueError, OSError) as exc:
+        _print_error(f"error: {exc}")
+        return 2
+    if args.json:
+        _print_json(payload)
+        return 0
+    _print(_render_stats(payload["metrics"], payload["service"]))
+    return 0
+
+
+def _profile_command(args: argparse.Namespace) -> int:
+    """The ``repro profile`` command: per-game rollout cost table."""
+    from repro.obs.profiler import (
+        append_trajectory_entry,
+        format_cost_table,
+        profile_games,
+    )
+
+    try:
+        document = profile_games(
+            args.games or None,
+            playouts=args.playouts,
+            seed=args.seed,
+            top=args.top,
+            use_cprofile=not args.no_cprofile,
+        )
+        if args.out:
+            history = append_trajectory_entry(Path(args.out), document)
+            _print_error(f"appended entry {len(history)} to {args.out}")
+    except (KeyError, ValueError, OSError) as exc:
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        _print_error(f"error: {message}")
+        return 2
+    if args.json:
+        _print_json(document)
+        return 0
+    _print(format_cost_table(document))
     return 0
 
 
@@ -630,6 +773,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "jobs":
         return _jobs_command(args)
+
+    if args.command == "stats":
+        return _stats_command(args)
+
+    if args.command == "profile":
+        return _profile_command(args)
 
     if args.command == "run":
         try:

@@ -35,9 +35,27 @@ from repro.cluster.process import (
     Syscall,
 )
 from repro.cluster.trace import Trace
+from repro.obs import enabled as _obs_enabled
+from repro.obs import metrics as _obs_metrics
 from repro.timemodel.cost import CostModel
 
 __all__ = ["Kernel", "KernelStats", "SimulationError"]
+
+# Telemetry (no-ops unless repro.obs is enabled).  Counters accumulate the
+# per-``Kernel.run`` deltas; the gauge tracks the latest run's event rate.
+_KERNEL_EVENTS = _obs_metrics.counter(
+    "repro_kernel_events_fired_total", "events fired by Kernel.run calls"
+)
+_KERNEL_SIM_SECONDS = _obs_metrics.counter(
+    "repro_kernel_simulated_seconds_total", "simulated seconds advanced by Kernel.run calls"
+)
+_KERNEL_WALL_SECONDS = _obs_metrics.counter(
+    "repro_kernel_wall_seconds_total", "wall-clock seconds spent inside Kernel.run"
+)
+_KERNEL_EVENT_RATE = _obs_metrics.gauge(
+    "repro_kernel_events_per_simulated_second",
+    "events fired per simulated second in the most recent Kernel.run",
+)
 
 
 class SimulationError(RuntimeError):
@@ -84,6 +102,23 @@ class KernelStats:
             "wall_seconds": self.wall_seconds,
             "wall_seconds_per_simulated_second": self.wall_seconds_per_simulated_second,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "KernelStats":
+        """Rebuild stats from their :meth:`to_dict` form (exact round-trip).
+
+        ``wall_seconds_per_simulated_second`` is derived, so it is ignored on
+        input and recomputed from the stored fields.
+        """
+        return cls(
+            events_fired=int(data.get("events_fired", 0)),
+            events_scheduled=int(data.get("events_scheduled", 0)),
+            events_cancelled=int(data.get("events_cancelled", 0)),
+            peak_queue_size=int(data.get("peak_queue_size", 0)),
+            compactions=int(data.get("compactions", 0)),
+            simulated_seconds=float(data.get("simulated_seconds", 0.0)),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+        )
 
 
 class Kernel:
@@ -327,6 +362,7 @@ class Kernel:
         if until_process is not None and target is None:
             raise ValueError(f"unknown process {until_process!r}")
         wall_start = _time.perf_counter()
+        sim_start = self.now
         try:
             while self.queue:
                 if target is not None and target.state in (ProcessState.FINISHED, ProcessState.FAILED):
@@ -346,9 +382,17 @@ class Kernel:
                 if max_events is not None and events_fired >= max_events:
                     break
         finally:
+            wall_delta = _time.perf_counter() - wall_start
             self._events_fired += events_fired
-            self._wall_seconds += _time.perf_counter() - wall_start
+            self._wall_seconds += wall_delta
             self.trace.kernel_stats = self.stats()
+            if _obs_enabled():
+                sim_delta = max(0.0, self.now - sim_start)
+                _KERNEL_EVENTS.inc(events_fired)
+                _KERNEL_SIM_SECONDS.inc(sim_delta)
+                _KERNEL_WALL_SECONDS.inc(wall_delta)
+                if sim_delta > 0:
+                    _KERNEL_EVENT_RATE.set(events_fired / sim_delta)
         return self.now
 
     # ------------------------------------------------------------------ #

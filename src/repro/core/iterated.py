@@ -19,6 +19,7 @@ from repro.core.counters import WorkCounter
 from repro.core.nested import nested_search
 from repro.core.result import BestTracker, SearchResult
 from repro.games.base import GameState
+from repro.obs import span as _obs_span
 from repro.prng import SeedSequence
 
 __all__ = ["iterated_search"]
@@ -55,7 +56,10 @@ def iterated_search(
     for i in range(restarts):
         if work_budget is not None and work.moves >= work_budget and completed > 0:
             break
-        result = nested_search(state, level, seeds.child("restart", i), counter=work)
+        # One span per restart: coarse enough to stay off the playout hot
+        # path, fine enough to show where a record hunt's time goes.
+        with _obs_span("iterated.restart", restart=i, level=level):
+            result = nested_search(state, level, seeds.child("restart", i), counter=work)
         completed += 1
         if best.offer(result.score, result.sequence) and on_improvement is not None:
             on_improvement(i, result)

@@ -19,14 +19,21 @@ from __future__ import annotations
 
 import math
 import random
+from contextlib import nullcontext
 from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.core.counters import WorkCounter
 from repro.core.result import SearchResult
 from repro.games.base import GameState, Move
+from repro.obs import span as _obs_span
 from repro.prng import SeedSequence
 
 __all__ = ["nrpa_search", "Policy"]
+
+#: Spans wrap NRPA iterations only at this nesting level and above — below it
+#: an iteration is a handful of playouts and span bookkeeping would be
+#: comparable to the work itself.
+_SPAN_MIN_LEVEL = 2
 
 #: A playout policy: move code -> log-weight.
 Policy = Dict[Hashable, float]
@@ -119,17 +126,19 @@ def nrpa_search(
 
     best_score = float("-inf")
     best_sequence: Tuple[Move, ...] = ()
+    spanned = level >= _SPAN_MIN_LEVEL
     for i in range(iterations):
-        result = nrpa_search(
-            state,
-            level - 1,
-            seeds.child("nrpa", level, i),
-            iterations=iterations,
-            alpha=alpha,
-            code_fn=code_fn,
-            counter=work,
-            policy=current_policy,
-        )
+        with _obs_span("nrpa.iteration", level=level, iteration=i) if spanned else nullcontext():
+            result = nrpa_search(
+                state,
+                level - 1,
+                seeds.child("nrpa", level, i),
+                iterations=iterations,
+                alpha=alpha,
+                code_fn=code_fn,
+                counter=work,
+                policy=current_policy,
+            )
         if result.score >= best_score:
             best_score = result.score
             best_sequence = result.sequence

@@ -35,8 +35,25 @@ from typing import Any, Dict, Iterator, Optional, Union
 
 from repro.api import RunReport, SearchSpec
 from repro.lab.keys import CODE_VERSION, spec_key
+from repro.obs import metrics as _obs_metrics
 
 __all__ = ["ResultStore", "StoreRecord"]
+
+# Telemetry (no-ops unless repro.obs is enabled).
+_STORE_HITS = _obs_metrics.counter(
+    "repro_store_hits_total", "ResultStore.get lookups that found a record"
+)
+_STORE_MISSES = _obs_metrics.counter(
+    "repro_store_misses_total", "ResultStore.get lookups that found nothing"
+)
+_STORE_WRITES = _obs_metrics.counter(
+    "repro_store_writes_total", "records persisted by ResultStore.put"
+)
+_STORE_LOCK_WAIT = _obs_metrics.histogram(
+    "repro_store_lock_wait_seconds",
+    "time ResultStore.put waited for the process-wide write lock",
+    buckets=(0.0001, 0.001, 0.01, 0.1, 1.0, 10.0),
+)
 
 #: A stored record: ``{"key", "salt", "created_at", "spec", "report"}``.
 StoreRecord = Dict[str, Any]
@@ -110,7 +127,9 @@ class ResultStore:
         """The stored report for ``spec``, or ``None`` when absent."""
         record = self.load(self.key(spec))
         if record is None:
+            _STORE_MISSES.inc()
             return None
+        _STORE_HITS.inc()
         return self._report_from_record(record)
 
     def keys(self) -> Iterator[str]:
@@ -153,7 +172,9 @@ class ResultStore:
         }
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        lock_wait_start = time.perf_counter()
         with _WRITE_LOCK:
+            _STORE_LOCK_WAIT.observe(time.perf_counter() - lock_wait_start)
             fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp")
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as fh:
@@ -165,6 +186,7 @@ class ResultStore:
                 except OSError:
                     pass
                 raise
+        _STORE_WRITES.inc()
         return key
 
     def discard(self, spec: SearchSpec) -> bool:

@@ -1,0 +1,77 @@
+"""`repro.obs` — the unified telemetry layer.
+
+Three pieces, all zero-dependency and all **off by default**:
+
+* :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges
+  and histograms.  Built-in instrumentation covers the engine (runs, wall
+  time, cached-vs-executed cells), the result store (hits/misses/writes/
+  lock-wait), the job service (queue depth, rejections, per-client
+  throughput, job latency) and the cluster kernel (events and simulated
+  seconds per run).  Exposed live via the service's ``metrics`` verb and
+  the ``repro stats`` CLI, as JSON or Prometheus text.
+* :mod:`repro.obs.tracing` — nestable wall-clock spans
+  (``with obs.span("playout", game=...)``) with per-run summaries;
+  ``Engine.run`` attaches the root summary as ``RunReport.telemetry``.
+* :mod:`repro.obs.profiler` — the rollout profiler behind
+  ``repro profile``, emitting the per-game cost table committed as
+  ``benchmarks/results/BENCH_rollout_hotpath.json``.
+
+Enable with :func:`enable` (``repro serve`` and ``repro profile`` do this
+themselves) or ``REPRO_OBS=1`` in the environment.  While disabled, every
+instrumentation point costs a single flag check, spans are a shared no-op
+singleton, and golden regression outputs are bit-identical — metrics never
+touch the PRNG or simulated time.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    hits = obs.metrics.counter("myapp_hits_total", "requests served")
+    hits.inc()
+    with obs.span("request", route="/search"):
+        ...
+    print(obs.metrics.render_prometheus())
+"""
+
+from __future__ import annotations
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable,
+    enable,
+    enabled,
+    get_registry,
+)
+from .tracing import Span, current_span, export_spans_to, span, stop_export
+
+__all__ = [
+    "metrics",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "enable",
+    "disable",
+    "enabled",
+    "span",
+    "Span",
+    "current_span",
+    "export_spans_to",
+    "stop_export",
+    "reset",
+]
+
+#: The process-wide default registry (what built-in instrumentation uses).
+metrics = get_registry()
+
+
+def reset() -> None:
+    """Zero every metric series in the default registry (tests, mostly)."""
+    metrics.reset()

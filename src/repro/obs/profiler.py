@@ -1,0 +1,233 @@
+"""Rollout profiler: per-game playout cost tables for `repro profile`.
+
+Every search in this library — sequential or simulated-parallel — bottoms
+out in :func:`repro.core.sample.sample` playouts, so the cost of a playout
+*is* the cost of the system.  This module runs N seeded playouts per
+registered game under :mod:`repro.obs` spans and (optionally) ``cProfile``,
+and emits a per-game cost table with three consumers:
+
+* the ROADMAP's "profile-driven rewrite of the game hot paths" item — the
+  ``hotspots`` list names the functions to attack, the committed
+  ``benchmarks/results/BENCH_rollout_hotpath.json`` trajectory proves each
+  rewrite against the previous sessions' numbers;
+* :mod:`repro.timemodel.cost` calibration — ``implied_units_per_ghz`` is the
+  measured move-applications-per-second normalised to the paper's 1.86 GHz
+  reference hardware, directly comparable to ``DEFAULT_UNITS_PER_GHZ``;
+* the CI ``profile-smoke`` job, which asserts this document's schema so the
+  profiler itself cannot rot.
+
+The document shape (``SCHEMA`` names it)::
+
+    {"schema": "repro.obs.rollout_hotpath.v1",
+     "recorded_at": "...", "playouts_per_game": N, "assumed_freq_ghz": 1.86,
+     "games": {name: {playouts, wall_seconds, work_units,
+                      mean_playout_seconds, mean_playout_moves,
+                      units_per_second, implied_units_per_ghz,
+                      default_units_per_ghz, hotspots: [...],
+                      span_summary: {...}}}}
+
+The trajectory file is a JSON *array* of such documents; each profiling run
+appends one (the same idiom as ``benchmarks/bench_kernel_stress.py``).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import pstats
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.counters import WorkCounter
+from repro.core.sample import sample
+from repro.prng import SeedSequence
+from repro.timemodel.cost import DEFAULT_UNITS_PER_GHZ
+from repro.workloads import get_workload
+
+# The package facade rebinds the name ``metrics`` to the default registry,
+# shadowing the submodule — resolve the real module explicitly.
+import importlib
+
+_metrics = importlib.import_module(".metrics", __package__)
+_tracing = importlib.import_module(".tracing", __package__)
+
+__all__ = [
+    "SCHEMA",
+    "DEFAULT_GAMES",
+    "REFERENCE_FREQ_GHZ",
+    "profile_game",
+    "profile_games",
+    "append_trajectory_entry",
+    "format_cost_table",
+]
+
+#: Version tag of the emitted document (bump on incompatible shape changes).
+SCHEMA = "repro.obs.rollout_hotpath.v1"
+
+#: The paper's reference hardware frequency (Table I: 1.86 GHz).
+REFERENCE_FREQ_GHZ = 1.86
+
+#: Curated default roster: every real game at a scale where a few hundred
+#: playouts finish in seconds.  ``paper-scale``/``morpion-5d``/``morpion-4d``
+#: are deliberately excluded (hours-scale states); profile them explicitly.
+DEFAULT_GAMES: Tuple[str, ...] = (
+    "morpion-bench",
+    "samegame",
+    "tsp",
+    "sop",
+    "weakschur",
+    "leftmove",
+)
+
+
+def profile_game(
+    name: str,
+    playouts: int = 200,
+    seed: int = 0,
+    top: int = 8,
+    use_cprofile: bool = True,
+) -> Dict[str, Any]:
+    """Run ``playouts`` seeded playouts of workload ``name`` and cost them.
+
+    Each playout starts from a fresh initial state with its own derived seed
+    (placement-independent, like the search algorithms), runs under an
+    ``obs`` span, and feeds a shared :class:`WorkCounter`.  When
+    ``use_cprofile`` is true the whole batch additionally runs under
+    ``cProfile`` and the top-``top`` functions by cumulative time are
+    reported as ``hotspots``.
+    """
+    if playouts < 1:
+        raise ValueError("playouts must be >= 1")
+    workload = get_workload(name)
+    seeds = SeedSequence(seed, "profile", name)
+    counter = WorkCounter()
+    profiler = cProfile.Profile() if use_cprofile else None
+
+    with _tracing.span("profile.game", game=name, playouts=playouts) as game_span:
+        wall_start = time.perf_counter()
+        if profiler is not None:
+            profiler.enable()
+        try:
+            for i in range(playouts):
+                state = workload.state()
+                with _tracing.span("playout", game=name):
+                    sample(state, seeds=seeds.child("playout", i), counter=counter)
+        finally:
+            if profiler is not None:
+                profiler.disable()
+        wall = time.perf_counter() - wall_start
+
+    mean_seconds = wall / playouts
+    units_per_second = counter.moves / wall if wall > 0 else 0.0
+    return {
+        "playouts": playouts,
+        "wall_seconds": wall,
+        "work_units": counter.moves,
+        "mean_playout_seconds": mean_seconds,
+        "mean_playout_moves": counter.moves / playouts,
+        "units_per_second": units_per_second,
+        # What units_per_ghz_per_second this host's measured playout speed
+        # implies at the paper's reference frequency — feed to
+        # CostModel(units_per_ghz_per_second=...) to calibrate simulated time.
+        "implied_units_per_ghz": units_per_second / REFERENCE_FREQ_GHZ,
+        "default_units_per_ghz": DEFAULT_UNITS_PER_GHZ,
+        "hotspots": _hotspots(profiler, top) if profiler is not None else [],
+        "span_summary": game_span.summary(),
+    }
+
+
+def _hotspots(profiler: cProfile.Profile, top: int) -> List[Dict[str, Any]]:
+    """Top-``top`` functions by cumulative time, JSON-ready."""
+    stats = pstats.Stats(profiler)
+    rows = []
+    for (filename, line, func), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        rows.append(
+            {
+                "function": f"{_shorten(filename)}:{line}:{func}",
+                "ncalls": nc,
+                "tottime": tt,
+                "cumtime": ct,
+            }
+        )
+    rows.sort(key=lambda r: r["cumtime"], reverse=True)
+    return rows[: max(0, top)]
+
+
+def _shorten(filename: str) -> str:
+    """Strip everything before the package root so paths diff cleanly."""
+    for anchor in ("repro/", "lib/python"):
+        idx = filename.rfind(anchor)
+        if idx >= 0:
+            return filename[idx:]
+    return filename
+
+
+def profile_games(
+    games: Optional[Sequence[str]] = None,
+    playouts: int = 200,
+    seed: int = 0,
+    top: int = 8,
+    use_cprofile: bool = True,
+) -> Dict[str, Any]:
+    """Profile every game in ``games`` (default roster) into one document."""
+    names = tuple(games) if games else DEFAULT_GAMES
+    was_enabled = _metrics.enabled()
+    _metrics.enable()  # spans must record for span_summary to be meaningful
+    try:
+        per_game = {
+            name: profile_game(
+                name, playouts=playouts, seed=seed, top=top, use_cprofile=use_cprofile
+            )
+            for name in names
+        }
+    finally:
+        if not was_enabled:
+            _metrics.disable()
+    return {
+        "schema": SCHEMA,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "playouts_per_game": playouts,
+        "assumed_freq_ghz": REFERENCE_FREQ_GHZ,
+        "games": per_game,
+    }
+
+
+def append_trajectory_entry(path: Path, entry: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Append ``entry`` to the JSON-array trajectory at ``path``; return it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    history: List[Dict[str, Any]] = []
+    if path.is_file():
+        history = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(history, list):
+            raise ValueError(f"{path} is not a JSON-array trajectory file")
+    history.append(entry)
+    path.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    return history
+
+
+def format_cost_table(document: Dict[str, Any]) -> str:
+    """Human-readable per-game cost table (the `repro profile` text output)."""
+    header = (
+        f"{'game':<14} {'playouts':>8} {'wall s':>9} {'ms/playout':>11} "
+        f"{'moves/po':>9} {'units/s':>12} {'units/GHz':>12}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, row in document["games"].items():
+        lines.append(
+            f"{name:<14} {row['playouts']:>8} {row['wall_seconds']:>9.3f} "
+            f"{row['mean_playout_seconds'] * 1e3:>11.3f} "
+            f"{row['mean_playout_moves']:>9.1f} {row['units_per_second']:>12.0f} "
+            f"{row['implied_units_per_ghz']:>12.0f}"
+        )
+    lines.append("")
+    lines.append(
+        f"assumed reference frequency: {document['assumed_freq_ghz']} GHz; "
+        f"timemodel default units/GHz: {DEFAULT_UNITS_PER_GHZ:.0f}"
+    )
+    lines.append(
+        "calibrate with CostModel(units_per_ghz_per_second=<units/GHz column>) "
+        "or SearchSpec(units_per_ghz=...)"
+    )
+    return "\n".join(lines)

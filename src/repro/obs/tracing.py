@@ -1,0 +1,234 @@
+"""Tracing spans: nestable wall-clock regions with per-run summaries.
+
+A span is one timed region of work::
+
+    with obs.span("engine.run", backend="sequential") as sp:
+        with obs.span("playout"):
+            ...
+
+Spans nest via a thread-local stack, so instrumented library code never
+threads a context object through its call signatures.  When a span closes it
+folds itself into its parent's *children summary* — ``name -> (count,
+total_s)``, including grandchildren — so the root span of a run ends up with
+a complete cost breakdown without keeping every child object alive.  That
+summary is what :class:`repro.api.Engine` stores as ``RunReport.telemetry``.
+
+Overhead rules match :mod:`repro.obs.metrics`: recording is off by default,
+and while off :func:`span` returns a shared no-op singleton after a single
+flag check — the ``with`` body always runs either way.  An optional JSONL
+exporter (:func:`export_spans_to`) appends one line per *finished* span for
+offline analysis; it is process-global and guarded by a lock.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, IO, List, Optional, Tuple
+
+# Resolved via importlib because the package facade rebinds the name
+# ``metrics`` to the default registry, shadowing the submodule.
+import importlib
+
+_metrics = importlib.import_module(".metrics", __package__)
+
+__all__ = ["Span", "span", "current_span", "export_spans_to", "stop_export"]
+
+
+class Span:
+    """One timed region.  Create via :func:`span`, close via ``with``."""
+
+    __slots__ = (
+        "name", "attrs", "start_s", "end_s", "_children", "_tracer", "_parent",
+    )
+
+    def __init__(self, name: str, attrs: Dict[str, Any], tracer: "_Tracer") -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start_s = 0.0
+        self.end_s: Optional[float] = None
+        #: child name -> [count, total_s]; grandchildren fold in on child exit
+        self._children: Dict[str, List[float]] = {}
+        self._tracer = tracer
+        self._parent: Optional[Span] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def duration_s(self) -> float:
+        end = self.end_s if self.end_s is not None else time.perf_counter()
+        return end - self.start_s
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach extra attributes after creation (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready cost breakdown of this span and everything under it."""
+        return {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+            "children": {
+                name: {"count": int(count), "total_s": total}
+                for name, (count, total) in sorted(self._children.items())
+            },
+        }
+
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "Span":
+        self._parent = self._tracer._push(self)
+        self.start_s = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.end_s = time.perf_counter()
+        self._tracer._pop(self)
+        parent = self._parent
+        if parent is not None:
+            # Fold self plus my (already folded) descendants into the parent.
+            slot = parent._children.setdefault(self.name, [0.0, 0.0])
+            slot[0] += 1
+            slot[1] += self.end_s - self.start_s
+            for name, (count, total) in self._children.items():
+                slot = parent._children.setdefault(name, [0.0, 0.0])
+                slot[0] += count
+                slot[1] += total
+        self._tracer._export(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.duration_s:.6f}s" if self.end_s is not None else "open"
+        return f"Span({self.name!r}, {state})"
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out while observability is disabled."""
+
+    __slots__ = ()
+    name = ""
+    attrs: Dict[str, Any] = {}
+    duration_s = 0.0
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def summary(self) -> Dict[str, Any]:
+        return {"name": "", "duration_s": 0.0, "attrs": {}, "children": {}}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Tracer:
+    """Thread-local span stacks plus the process-global JSONL exporter."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._export_lock = threading.Lock()
+        self._export_fh: Optional[IO[str]] = None
+        self._export_owned = False
+
+    # -- stack ---------------------------------------------------------- #
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, sp: Span) -> Optional[Span]:
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        stack.append(sp)
+        return parent
+
+    def _pop(self, sp: Span) -> None:
+        stack = self._stack()
+        # Tolerate exits out of order (a span closed twice, or enable()
+        # flipped mid-span): unwind to this span if present, else ignore.
+        if sp in stack:
+            while stack and stack.pop() is not sp:
+                pass
+
+    def current(self) -> Optional[Span]:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    # -- export --------------------------------------------------------- #
+    def export_to(self, target: Any) -> None:
+        """Start appending finished spans as JSONL to a path or file object."""
+        with self._export_lock:
+            self._close_export_locked()
+            if hasattr(target, "write"):
+                self._export_fh = target
+                self._export_owned = False
+            else:
+                self._export_fh = open(target, "a", encoding="utf-8")
+                self._export_owned = True
+
+    def stop_export(self) -> None:
+        with self._export_lock:
+            self._close_export_locked()
+
+    def _close_export_locked(self) -> None:
+        if self._export_fh is not None and self._export_owned:
+            self._export_fh.close()
+        self._export_fh = None
+        self._export_owned = False
+
+    def _export(self, sp: Span) -> None:
+        if self._export_fh is None:
+            return
+        line = json.dumps(
+            {
+                "name": sp.name,
+                "start_s": sp.start_s,
+                "duration_s": sp.end_s - sp.start_s if sp.end_s is not None else None,
+                "attrs": sp.attrs,
+                "children": {
+                    name: {"count": int(count), "total_s": total}
+                    for name, (count, total) in sorted(sp._children.items())
+                },
+            },
+            sort_keys=True,
+        )
+        with self._export_lock:
+            if self._export_fh is not None:
+                self._export_fh.write(line + "\n")
+
+
+_TRACER = _Tracer()
+
+
+def span(name: str, **attrs: Any):
+    """Open a span (use as ``with obs.span("playout", game="tsp"):``).
+
+    Returns the shared no-op span when observability is disabled, so the
+    call costs one flag check and no allocation on the hot path.
+    """
+    if not _metrics._ENABLED:
+        return _NULL_SPAN
+    return Span(name, attrs, _TRACER)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span on this thread, or None."""
+    if not _metrics._ENABLED:
+        return None
+    return _TRACER.current()
+
+
+def export_spans_to(target: Any) -> None:
+    """Append every finished span as one JSON line to *target* (path or fh)."""
+    _TRACER.export_to(target)
+
+
+def stop_export() -> None:
+    """Stop the JSONL exporter (closes the file if the tracer opened it)."""
+    _TRACER.stop_export()

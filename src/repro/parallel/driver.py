@@ -30,6 +30,7 @@ from repro.games.base import GameState
 from repro.parallel.config import DispatcherKind, ParallelConfig
 from repro.parallel.dispatchers import last_minute_dispatcher, round_robin_dispatcher
 from repro.parallel.jobs import CachingJobExecutor, DirectJobExecutor, JobExecutor
+from repro.obs import span as _obs_span
 from repro.parallel.messages import TAG_DISPATCH, TAG_TASK
 from repro.parallel.roles import client_process, median_name, median_process, root_process
 from repro.prng import SeedSequence
@@ -113,51 +114,58 @@ def run_parallel_nmcs(
     if cluster.n_clients < 1:
         raise ValueError("the cluster must host at least one client process")
     executor = executor if executor is not None else CachingJobExecutor()
-    kernel = Kernel(cost_model=cost_model, network=network)
-    kernel.add_nodes(cluster.nodes)
+    with _obs_span(
+        "parallel.setup",
+        dispatcher=config.dispatcher.value,
+        n_clients=cluster.n_clients,
+        n_medians=config.n_medians,
+    ):
+        kernel = Kernel(cost_model=cost_model, network=network)
+        kernel.add_nodes(cluster.nodes)
 
-    client_names = cluster.client_names()
-    median_names = [median_name(i) for i in range(config.n_medians)]
+        client_names = cluster.client_names()
+        median_names = [median_name(i) for i in range(config.n_medians)]
 
-    # Dispatcher and medians live on the server node, as in the paper.
-    if config.dispatcher is DispatcherKind.ROUND_ROBIN:
-        kernel.spawn(DISPATCHER_NAME, cluster.server_node, round_robin_dispatcher, client_names)
-    else:
+        # Dispatcher and medians live on the server node, as in the paper.
+        if config.dispatcher is DispatcherKind.ROUND_ROBIN:
+            kernel.spawn(DISPATCHER_NAME, cluster.server_node, round_robin_dispatcher, client_names)
+        else:
+            kernel.spawn(
+                DISPATCHER_NAME,
+                cluster.server_node,
+                last_minute_dispatcher,
+                client_names,
+                config.lm_fifo_jobs,
+            )
+        for name in median_names:
+            kernel.spawn(name, cluster.server_node, median_process, config, DISPATCHER_NAME, ROOT_NAME)
+        for placement in cluster.clients:
+            kernel.spawn(
+                placement.client_name,
+                placement.node_name,
+                client_process,
+                config,
+                executor,
+                DISPATCHER_NAME,
+            )
+
+        shutdown_plan: List[Tuple[str, int]] = (
+            [(name, TAG_TASK) for name in median_names]
+            + [(name, TAG_TASK) for name in client_names]
+            + [(DISPATCHER_NAME, TAG_DISPATCH)]
+        )
         kernel.spawn(
-            DISPATCHER_NAME,
+            ROOT_NAME,
             cluster.server_node,
-            last_minute_dispatcher,
-            client_names,
-            config.lm_fifo_jobs,
-        )
-    for name in median_names:
-        kernel.spawn(name, cluster.server_node, median_process, config, DISPATCHER_NAME, ROOT_NAME)
-    for placement in cluster.clients:
-        kernel.spawn(
-            placement.client_name,
-            placement.node_name,
-            client_process,
+            root_process,
+            state,
             config,
-            executor,
-            DISPATCHER_NAME,
+            median_names,
+            shutdown_plan,
         )
 
-    shutdown_plan: List[Tuple[str, int]] = (
-        [(name, TAG_TASK) for name in median_names]
-        + [(name, TAG_TASK) for name in client_names]
-        + [(DISPATCHER_NAME, TAG_DISPATCH)]
-    )
-    kernel.spawn(
-        ROOT_NAME,
-        cluster.server_node,
-        root_process,
-        state,
-        config,
-        median_names,
-        shutdown_plan,
-    )
-
-    kernel.run(until_process=ROOT_NAME)
+    with _obs_span("parallel.kernel_run", dispatcher=config.dispatcher.value):
+        kernel.run(until_process=ROOT_NAME)
     root = kernel.process(ROOT_NAME)
     if root.exception is not None:  # pragma: no cover - defensive
         raise root.exception

@@ -134,6 +134,20 @@ class ServiceClient:
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self._request({"op": "cancel", "job_id": job_id})["job"]
 
+    def metrics(self, format: Optional[str] = None) -> Dict[str, Any]:
+        """The server's telemetry.
+
+        Default (JSON) form: ``{"metrics": <registry snapshot>, "service":
+        <service_stats>}``.  ``format="prometheus"`` returns ``{"text": ...}``
+        in Prometheus text exposition format.
+        """
+        request: Dict[str, Any] = {"op": "metrics"}
+        if format is not None:
+            request["format"] = format
+        response = self._request(request)
+        response.pop("ok", None)
+        return response
+
     def shutdown(self, drain: bool = True) -> Dict[str, Any]:
         return self._request({"op": "shutdown", "drain": drain})
 

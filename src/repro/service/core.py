@@ -39,11 +39,24 @@ from repro.api import Engine, RunEvent, SearchSpec
 from repro.lab.keys import spec_key
 from repro.lab.store import ResultStore
 from repro.lab.sweep import SweepSpec
+from repro.obs import metrics as _obs_metrics
 from repro.service.jobs import Job, JobState
 from repro.service.queue import JobQueue, QueueFull
 from repro.service.ratelimit import ClientRateLimiter
 
 __all__ = ["SearchService", "ServiceConfig", "Submission"]
+
+# Telemetry (no-ops unless repro.obs is enabled).
+_SUBMISSIONS = _obs_metrics.counter(
+    "repro_service_submissions_total",
+    "submission acknowledgements, by client and ack status",
+    labelnames=("client", "status"),
+)
+_REJECTIONS = _obs_metrics.counter(
+    "repro_service_rejections_total",
+    "rejected submissions, by reason",
+    labelnames=("reason",),
+)
 
 #: What submit() accepts.
 Submission = Union[SearchSpec, SweepSpec, Mapping[str, Any]]
@@ -200,6 +213,7 @@ class SearchService:
                 job = self._jobs[inflight_id]
                 job.attached += 1
                 self.stats["attached"] += 1
+                _SUBMISSIONS.labels(client=client, status="attached").inc()
                 return {
                     "status": "attached",
                     "job_id": job.id,
@@ -227,6 +241,7 @@ class SearchService:
                 existing = self._jobs[inflight_id]
                 existing.attached += 1
                 self.stats["attached"] += 1
+                _SUBMISSIONS.labels(client=client, status="attached").inc()
                 return {
                     "status": "attached",
                     "job_id": existing.id,
@@ -237,6 +252,8 @@ class SearchService:
                 self._queue.push(job)
             except QueueFull:
                 self.stats["rejected_queue_full"] += 1
+                _SUBMISSIONS.labels(client=client, status="rejected").inc()
+                _REJECTIONS.labels(reason="queue_full").inc()
                 return {
                     "status": "rejected",
                     "reason": "queue_full",
@@ -245,11 +262,14 @@ class SearchService:
             self._jobs[job.id] = job
             self._inflight[key] = job.id
             self.stats["queued"] += 1
+        _SUBMISSIONS.labels(client=client, status="queued").inc()
         return {"status": "queued", "job_id": job.id, "state": job.state.value, "key": key}
 
     def _reject(self, client: str, reason: str) -> Dict[str, Any]:
         with self._lock:
             self.stats[f"rejected_{reason}"] += 1
+        _SUBMISSIONS.labels(client=client, status="rejected").inc()
+        _REJECTIONS.labels(reason=reason).inc()
         return {"status": "rejected", "reason": reason}
 
     def _cached_job(
@@ -276,6 +296,7 @@ class SearchService:
         with self._lock:
             self._jobs[job.id] = job
             self.stats["cached"] += 1
+        _SUBMISSIONS.labels(client=client, status="cached").inc()
         return {"status": "cached", "job_id": job.id, "state": job.state.value, "key": key}
 
     def _pin(self, spec: SearchSpec) -> SearchSpec:

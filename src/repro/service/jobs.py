@@ -21,7 +21,25 @@ import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.obs import metrics as _obs_metrics
+
 __all__ = ["Job", "JobState"]
+
+# Telemetry (no-ops unless repro.obs is enabled).
+_QUEUE_WAIT = _obs_metrics.histogram(
+    "repro_service_queue_wait_seconds",
+    "time a job spent queued before a worker picked it up",
+)
+_JOB_SECONDS = _obs_metrics.histogram(
+    "repro_service_job_seconds",
+    "submit-to-terminal latency of service jobs, by terminal state",
+    labelnames=("state",),
+)
+_JOBS_FINISHED = _obs_metrics.counter(
+    "repro_service_jobs_finished_total",
+    "jobs that reached a terminal state, by client and state",
+    labelnames=("client", "state"),
+)
 
 
 class JobState(str, enum.Enum):
@@ -86,6 +104,7 @@ class Job:
         with self._cond:
             self.state = JobState.RUNNING
             self.started_at = time.time()
+            _QUEUE_WAIT.observe(self.started_at - self.submitted_at)
             self._cond.notify_all()
 
     def publish(self, event: Dict[str, Any]) -> None:
@@ -108,6 +127,10 @@ class Job:
             if error is not None:
                 self.error = error
             self.finished_at = time.time()
+            _JOB_SECONDS.labels(state=state.value).observe(
+                self.finished_at - self.submitted_at
+            )
+            _JOBS_FINISHED.labels(client=self.client, state=state.value).inc()
             self._cond.notify_all()
 
     # ------------------------------------------------------------------ #
@@ -154,9 +177,27 @@ class Job:
     # Introspection
     # ------------------------------------------------------------------ #
     def snapshot(self) -> Dict[str, Any]:
-        """JSON-ready status payload (the ``status``/``jobs`` verb schema)."""
+        """JSON-ready status payload (the ``status``/``jobs`` verb schema).
+
+        ``queue_wait_seconds`` and ``wall_seconds`` are live while the job is
+        still queued/running (measured up to now) and final once terminal.  A
+        job that reached a terminal state without ever starting (store-cached
+        submissions, cancellations while queued) spent its whole life in the
+        queue: its wait is submit→finish and its wall time 0.
+        """
         with self._cond:
             done = sum(self.counts.values())
+            now = time.time()
+            if self.started_at is not None:
+                queue_wait = self.started_at - self.submitted_at
+                wall_end = self.finished_at if self.finished_at is not None else now
+                wall = wall_end - self.started_at
+            elif self.finished_at is not None:
+                queue_wait = self.finished_at - self.submitted_at
+                wall = 0.0
+            else:
+                queue_wait = now - self.submitted_at
+                wall = 0.0
             return {
                 "id": self.id,
                 "client": self.client,
@@ -169,5 +210,7 @@ class Job:
                 "submitted_at": self.submitted_at,
                 "started_at": self.started_at,
                 "finished_at": self.finished_at,
+                "queue_wait_seconds": queue_wait,
+                "wall_seconds": wall,
                 "error": self.error,
             }

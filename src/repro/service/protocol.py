@@ -27,6 +27,11 @@ Requests name their verb with ``op``:
 ``shutdown``   ``{"op": "shutdown", "drain": true}`` → ``{"ok",
                "shutting_down": true}``; the server drains and stops.
 ``ping``       ``{"op": "ping"}`` → ``{"ok", "pong": true}``.
+``metrics``    ``{"op": "metrics"}`` → ``{"ok", "metrics": {...},
+               "service": {...}}`` (the :mod:`repro.obs` registry snapshot
+               plus ``SearchService.service_stats()``);
+               ``{"op": "metrics", "format": "prometheus"}`` → ``{"ok",
+               "text": "..."}`` in Prometheus text exposition format.
 =============  ============================================================
 
 This module also owns address parsing: ``"host:port"`` for TCP,
@@ -47,7 +52,7 @@ __all__ = [
 ]
 
 #: The verbs a server understands (documented above and in docs/SERVICE.md).
-VERBS = ("submit", "status", "subscribe", "cancel", "jobs", "shutdown", "ping")
+VERBS = ("submit", "status", "subscribe", "cancel", "jobs", "metrics", "shutdown", "ping")
 
 
 def encode_line(payload: Mapping[str, Any]) -> bytes:

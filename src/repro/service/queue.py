@@ -27,7 +27,17 @@ import threading
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
+from repro.obs import metrics as _obs_metrics
+
 __all__ = ["JobQueue", "QueueFull"]
+
+# Telemetry (no-ops unless repro.obs is enabled).
+_QUEUE_DEPTH = _obs_metrics.gauge(
+    "repro_service_queue_depth", "jobs currently pending in the service queue"
+)
+_QUEUE_PUSHED = _obs_metrics.counter(
+    "repro_service_queue_pushed_total", "jobs accepted into the service queue"
+)
 
 
 class QueueFull(RuntimeError):
@@ -71,6 +81,8 @@ class JobQueue:
                 self._rotation.append(job.client)
             heapq.heappush(bucket, (job.priority, next(self._seq), job))
             self._size += 1
+            _QUEUE_PUSHED.inc()
+            _QUEUE_DEPTH.set(self._size)
             self._not_empty.notify()
 
     def pop(self, timeout: Optional[float] = None) -> Optional[Any]:
@@ -90,4 +102,5 @@ class JobQueue:
             else:
                 del self._buckets[client]
             self._size -= 1
+            _QUEUE_DEPTH.set(self._size)
             return job

@@ -15,7 +15,16 @@ import threading
 import time
 from typing import Callable, Dict, Optional
 
+from repro.obs import metrics as _obs_metrics
+
 __all__ = ["TokenBucket", "ClientRateLimiter"]
+
+# Telemetry (no-op unless repro.obs is enabled).
+_RATE_DENIED = _obs_metrics.counter(
+    "repro_service_rate_limited_total",
+    "submissions denied by the per-client token bucket, by client",
+    labelnames=("client",),
+)
 
 
 class TokenBucket:
@@ -80,4 +89,7 @@ class ClientRateLimiter:
                 bucket = self._buckets[client] = TokenBucket(
                     self.rate, self.burst, self._clock
                 )
-            return bucket.try_acquire()
+            allowed = bucket.try_acquire()
+        if not allowed:
+            _RATE_DENIED.labels(client=client).inc()
+        return allowed

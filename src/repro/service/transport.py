@@ -23,8 +23,9 @@ import functools
 import threading
 from typing import Any, Dict, Optional
 
+from repro.obs import get_registry as _obs_registry
 from repro.service.core import SearchService
-from repro.service.protocol import decode_line, encode_line, error_payload
+from repro.service.protocol import VERBS, decode_line, encode_line, error_payload
 
 __all__ = ["ServiceServer"]
 
@@ -199,6 +200,28 @@ class ServiceServer:
         if op == "subscribe":
             await self._subscribe(request, writer)
             return
+        if op == "metrics":
+            fmt = request.get("format", "json")
+            registry = _obs_registry()
+            if fmt == "prometheus":
+                text = await self._call(registry.render_prometheus)
+                writer.write(encode_line({"ok": True, "text": text}))
+            elif fmt == "json":
+                snapshot = await self._call(registry.snapshot)
+                writer.write(
+                    encode_line(
+                        {
+                            "ok": True,
+                            "metrics": snapshot,
+                            "service": self.service.service_stats(),
+                        }
+                    )
+                )
+            else:
+                raise ValueError(
+                    f"unknown metrics format {fmt!r}; use 'json' or 'prometheus'"
+                )
+            return
         if op == "shutdown":
             drain = bool(request.get("drain", True))
             writer.write(encode_line({"ok": True, "shutting_down": True, "drain": drain}))
@@ -207,7 +230,7 @@ class ServiceServer:
             assert self._stop_event is not None
             self._stop_event.set()
             return
-        raise ValueError(f"unknown op {op!r}; known ops: submit, status, subscribe, cancel, jobs, shutdown, ping")
+        raise ValueError(f"unknown op {op!r}; known ops: {', '.join(VERBS)}")
 
     @staticmethod
     def _job_id(request: Dict[str, Any]) -> str:

@@ -49,6 +49,7 @@ REPORT_KEYS = {
     "comm",
     "client_utilisation",
     "kernel_stats",
+    "telemetry",
 }
 
 

@@ -292,7 +292,8 @@ class TestJsonOutput:
 # off these, so additions are fine but renames/removals must be deliberate.
 JOB_SNAPSHOT_KEYS = {
     "id", "client", "kind", "state", "priority", "key", "attached",
-    "cells", "submitted_at", "started_at", "finished_at", "error",
+    "cells", "submitted_at", "started_at", "finished_at",
+    "queue_wait_seconds", "wall_seconds", "error",
 }
 CELLS_KEYS = {"total", "done", "cached", "completed", "failed"}
 STATS_KEYS = {

@@ -1,0 +1,370 @@
+"""Tests of :mod:`repro.obs`: metrics registry, spans, profiler, exposition.
+
+The obs switch is process-global, so every test that records goes through
+the ``recording`` fixture, which restores the previous state afterwards —
+the rest of the suite keeps running with observability off, exactly like
+production defaults.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.api import Engine, RunReport, SearchSpec
+from repro.cluster.simulator import KernelStats
+from repro.lab import ResultStore
+from repro.obs import metrics as registry
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import (
+    SCHEMA,
+    append_trajectory_entry,
+    format_cost_table,
+    profile_games,
+)
+from repro.obs.tracing import current_span, export_spans_to, span, stop_export
+
+
+@pytest.fixture
+def recording():
+    """Observability on for the test, restored (and reset) afterwards."""
+    was_enabled = obs.enabled()
+    obs.enable()
+    try:
+        yield
+    finally:
+        if not was_enabled:
+            obs.disable()
+        stop_export()
+
+
+class TestMetricsRegistry:
+    def test_counter_counts(self, recording):
+        reg = MetricsRegistry()
+        hits = reg.counter("t_hits_total", "help text")
+        hits.inc()
+        hits.inc(2.5)
+        assert hits.value() == 3.5
+
+    def test_counter_rejects_negative(self, recording):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="only go up"):
+            reg.counter("t_neg_total").inc(-1)
+
+    def test_labelled_series_are_independent(self, recording):
+        reg = MetricsRegistry()
+        cells = reg.counter("t_cells_total", labelnames=("kind",))
+        cells.labels(kind="cached").inc()
+        cells.labels(kind="completed").inc(4)
+        assert cells.value(kind="cached") == 1
+        assert cells.value(kind="completed") == 4
+        with pytest.raises(ValueError, match="declares labels"):
+            cells.inc()
+        with pytest.raises(ValueError, match="declares labels"):
+            cells.labels(wrong="x")
+
+    def test_reregistration_is_idempotent_but_shape_conflicts_raise(self):
+        reg = MetricsRegistry()
+        first = reg.counter("t_dup_total", "help")
+        assert reg.counter("t_dup_total") is first
+        with pytest.raises(ValueError, match="different shape"):
+            reg.gauge("t_dup_total")
+        with pytest.raises(ValueError, match="different shape"):
+            reg.counter("t_dup_total", labelnames=("extra",))
+
+    def test_gauge_goes_both_ways(self, recording):
+        reg = MetricsRegistry()
+        depth = reg.gauge("t_depth")
+        depth.set(5)
+        depth.inc()
+        depth.dec(2)
+        assert depth.value() == 4
+
+    def test_histogram_bucket_edges_are_upper_inclusive(self, recording):
+        reg = MetricsRegistry()
+        lat = reg.histogram("t_lat_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.1, 0.5, 1.0, 10.0, 11.0):
+            lat.observe(value)
+        stats = lat.stats()
+        # Cumulative `le` counts: a value equal to a boundary lands in it.
+        assert stats["buckets"] == {"0.1": 2, "1": 4, "10": 5, "+Inf": 6}
+        assert stats["count"] == 6
+        assert stats["sum"] == pytest.approx(22.65)
+
+    def test_histogram_rejects_bad_buckets(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="at least one"):
+            reg.histogram("t_empty_seconds", buckets=())
+        with pytest.raises(ValueError, match="strictly increasing"):
+            reg.histogram("t_bad_seconds", buckets=(1.0, 1.0, 2.0))
+
+    def test_concurrent_counter_increments_are_exact(self, recording):
+        reg = MetricsRegistry()
+        total = reg.counter("t_race_total")
+        n_threads, per_thread = 8, 10_000
+
+        def hammer():
+            for _ in range(per_thread):
+                total.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert total.value() == n_threads * per_thread
+
+    def test_snapshot_is_json_ready(self, recording):
+        reg = MetricsRegistry()
+        reg.counter("t_a_total", "a help", labelnames=("k",)).labels(k="x").inc()
+        reg.histogram("t_b_seconds", buckets=(1.0,)).observe(0.5)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["t_a_total"]["type"] == "counter"
+        assert snap["t_a_total"]["values"] == [{"labels": {"k": "x"}, "value": 1.0}]
+        assert snap["t_b_seconds"]["buckets"] == [1.0]
+        assert snap["t_b_seconds"]["values"][0]["buckets"] == {"1": 1.0, "+Inf": 1.0}
+
+    def test_prometheus_rendering(self, recording):
+        reg = MetricsRegistry()
+        reg.counter("t_hits_total", "hits help").inc(3)
+        reg.histogram("t_lat_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        text = reg.render_prometheus()
+        assert "# HELP t_hits_total hits help" in text
+        assert "# TYPE t_hits_total counter" in text
+        assert "t_hits_total 3" in text  # integers render without a trailing .0
+        assert "# TYPE t_lat_seconds histogram" in text
+        assert 't_lat_seconds_bucket{le="0.1"} 1' in text
+        assert 't_lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "t_lat_seconds_count 1" in text
+
+    def test_reset_zeroes_but_keeps_handles_valid(self, recording):
+        reg = MetricsRegistry()
+        hits = reg.counter("t_hits_total")
+        hits.inc(7)
+        reg.reset()
+        assert hits.value() == 0
+        hits.inc()
+        assert hits.value() == 1
+
+    def test_default_registry_is_shared(self):
+        assert obs.get_registry() is registry
+        assert obs.metrics is registry
+
+
+@pytest.fixture
+def not_recording():
+    """Observability forced off for the test, restored afterwards."""
+    was_enabled = obs.enabled()
+    obs.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            obs.enable()
+
+
+class TestDisabledIsFree:
+    def test_disabled_mutations_record_nothing(self, not_recording):
+        reg = MetricsRegistry()
+        counter = reg.counter("t_off_total")
+        counter.inc()
+        reg.gauge("t_off_depth").set(9)
+        reg.histogram("t_off_seconds").observe(1.0)
+        assert counter.value() == 0
+        assert reg.snapshot()["t_off_total"]["values"] == []
+
+    def test_disabled_spans_are_one_shared_noop(self, not_recording):
+        first, second = span("a", key=1), span("b")
+        assert first is second  # the singleton: no allocation per call
+        with first as active:
+            active.set(anything="goes")
+            assert active.summary()["children"] == {}
+            assert active.summary()["duration_s"] == 0.0
+
+
+class TestTracing:
+    def test_span_nesting_folds_into_the_root(self, recording):
+        with span("root", game="x") as root:
+            assert current_span() is root
+            with span("inner"):
+                with span("leaf"):
+                    pass
+            with span("inner"):
+                pass
+        summary = root.summary()
+        assert summary["name"] == "root"
+        assert summary["attrs"] == {"game": "x"}
+        assert summary["duration_s"] >= 0
+        assert summary["children"]["inner"]["count"] == 2
+        assert summary["children"]["leaf"]["count"] == 1
+        assert current_span() is None
+
+    def test_jsonl_export(self, recording, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        export_spans_to(path)
+        with span("outer"):
+            with span("inner"):
+                pass
+        stop_export()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [entry["name"] for entry in lines] == ["inner", "outer"]
+        assert all(entry["duration_s"] >= 0 for entry in lines)
+
+    def test_threads_have_independent_span_stacks(self, recording):
+        seen = {}
+
+        def worker():
+            with span("worker-root") as s:
+                seen["inner"] = current_span() is s
+            seen["after"] = current_span()
+
+        with span("main-root") as main_root:
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+            assert current_span() is main_root
+        assert seen == {"inner": True, "after": None}
+
+
+class TestKernelStatsRoundTrip:
+    def test_exact_round_trip(self):
+        stats = KernelStats(
+            events_fired=35355,
+            events_scheduled=40000,
+            events_cancelled=12,
+            peak_queue_size=96,
+            compactions=3,
+            simulated_seconds=123.5,
+            wall_seconds=0.75,
+        )
+        assert KernelStats.from_dict(stats.to_dict()) == stats
+
+    def test_from_dict_tolerates_missing_and_derived_keys(self):
+        rebuilt = KernelStats.from_dict({"events_fired": 5, "wall_seconds_per_simulated_second": 9.9})
+        assert rebuilt.events_fired == 5
+        assert rebuilt.simulated_seconds == 0.0
+
+
+class TestBuiltInInstrumentation:
+    def test_store_hits_and_misses_move_the_counters(self, recording, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = SearchSpec(workload="leftmove", max_steps=1)
+        hits = registry.get("repro_store_hits_total")
+        misses = registry.get("repro_store_misses_total")
+        writes = registry.get("repro_store_writes_total")
+        h0, m0, w0 = hits.value(), misses.value(), writes.value()
+        assert store.get(spec) is None
+        report = Engine().run(spec)
+        store.put(spec, report)
+        assert store.get(spec) is not None
+        assert misses.value() == m0 + 1
+        assert writes.value() == w0 + 1
+        assert hits.value() == h0 + 1
+
+    def test_engine_run_attaches_telemetry_when_enabled(self, recording):
+        report = Engine().run(SearchSpec(workload="leftmove", max_steps=1))
+        assert report.telemetry is not None
+        assert report.telemetry["name"] == "engine.run"
+        assert report.telemetry["attrs"]["workload"] == "leftmove"
+        wire = RunReport.from_dict(report.to_dict())
+        assert wire.telemetry == report.telemetry
+
+    def test_engine_run_telemetry_none_when_disabled(self, not_recording):
+        report = Engine().run(SearchSpec(workload="leftmove", max_steps=1))
+        assert report.telemetry is None
+        # Old wire records (no telemetry key) still decode.
+        data = report.to_dict()
+        data.pop("telemetry")
+        assert RunReport.from_dict(data).telemetry is None
+
+    def test_kernel_counters_move_on_a_sim_run(self, recording):
+        events = registry.get("repro_kernel_events_fired_total")
+        e0 = events.value()
+        Engine().run(
+            SearchSpec(
+                workload="leftmove", backend="sim-cluster", n_clients=2, max_steps=1
+            )
+        )
+        assert events.value() > e0
+
+
+class TestProfiler:
+    def test_document_schema_and_trajectory(self, tmp_path, not_recording):
+        document = profile_games(["leftmove"], playouts=3, top=3)
+        assert document["schema"] == SCHEMA
+        assert document["playouts_per_game"] == 3
+        game = document["games"]["leftmove"]
+        assert game["playouts"] == 3
+        assert game["work_units"] > 0
+        assert game["units_per_second"] > 0
+        assert game["implied_units_per_ghz"] == pytest.approx(
+            game["units_per_second"] / 1.86
+        )
+        assert game["hotspots"] and "cumtime" in game["hotspots"][0]
+        assert game["span_summary"]["children"]["playout"]["count"] == 3
+        assert not obs.enabled()  # profiling must not leave obs switched on
+
+        path = tmp_path / "BENCH_rollout_hotpath.json"
+        append_trajectory_entry(path, document)
+        append_trajectory_entry(path, document)
+        history = json.loads(path.read_text())
+        assert isinstance(history, list) and len(history) == 2
+
+        table = format_cost_table(document)
+        assert "leftmove" in table and "units/GHz" in table
+
+    def test_trajectory_rejects_non_array_files(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError, match="JSON-array"):
+            append_trajectory_entry(path, {"schema": SCHEMA})
+
+
+class TestServiceMetricsVerb:
+    @pytest.fixture(params=["tcp", "unix"])
+    def address(self, request, tmp_path, recording):
+        from repro.service import SearchService, ServiceServer
+
+        service = SearchService(store=ResultStore(tmp_path / "store"))
+        if request.param == "unix":
+            server = ServiceServer(service, socket_path=str(tmp_path / "svc.sock"))
+        else:
+            server = ServiceServer(service, port=0)
+        address = server.start()
+        try:
+            yield address
+        finally:
+            service.shutdown(drain=False, timeout=5)
+            server.stop()
+
+    def test_metrics_verb_json_and_prometheus(self, address):
+        from repro.service import ServiceClient, ServiceError
+
+        client = ServiceClient(address)
+        client.run({"workload": "leftmove", "max_steps": 1})
+
+        payload = client.metrics()
+        assert payload["service"]["submitted"] == 1
+        jobs = payload["metrics"]["repro_service_jobs_finished_total"]
+        finished = {
+            tuple(sorted(entry["labels"].items())): entry["value"]
+            for entry in jobs["values"]
+        }
+        assert finished[(("client", "anon"), ("state", "completed"))] >= 1
+
+        text = client.metrics(format="prometheus")["text"]
+        assert "# TYPE repro_service_jobs_finished_total counter" in text
+        assert "# TYPE repro_service_queue_wait_seconds histogram" in text
+
+        with pytest.raises(ServiceError, match="unknown metrics format"):
+            client.metrics(format="xml")
+
+    def test_job_snapshot_reports_wait_and_wall(self, address):
+        from repro.service import ServiceClient
+
+        client = ServiceClient(address)
+        outcome = client.run({"workload": "leftmove", "max_steps": 1})
+        job = outcome["job"]
+        assert job["queue_wait_seconds"] >= 0.0
+        assert job["wall_seconds"] >= 0.0
