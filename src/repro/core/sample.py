@@ -14,7 +14,7 @@ from typing import Optional, Tuple
 
 from repro.core.counters import WorkCounter
 from repro.core.result import SearchResult
-from repro.games.base import GameState, Move, random_playout
+from repro.games.base import GameState, Move
 from repro.prng import SeedSequence
 
 __all__ = ["sample", "best_of_samples"]
@@ -36,7 +36,9 @@ def sample(
     if rng is None:
         rng = seeds.rng() if seeds is not None else random.Random()
     work = counter if counter is not None else WorkCounter()
-    score, moves = random_playout(state, rng, work)
+    # Copy once, then run the state's in-place playout primitive directly
+    # (equivalent to random_playout, minus one call layer on the hot path).
+    score, moves = state.copy().playout(rng, work)
     return SearchResult(score=score, sequence=moves, work=work.snapshot(), level=0)
 
 

@@ -17,14 +17,38 @@ Design notes
   of the position *as if the game stopped now* (for Morpion Solitaire, the
   number of moves played so far).  The search algorithms only compare scores,
   so any total order works.
+
+Fast-state protocol (see docs/GAMES.md)
+---------------------------------------
+Three opt-in extensions let hot kernels avoid per-move overhead without
+changing what any search computes:
+
+* :meth:`GameState.playout` — the **in-place playout** primitive.  The base
+  implementation is the canonical reference loop (``legal_moves`` →
+  ``rng.randrange`` → ``apply``); kernels may override it with a specialised
+  loop **as long as it consumes the same rng draws and picks the same
+  moves** — the seeded playout goldens (``tests/data/playout_golden.json``)
+  enforce this bit-identically.
+* :meth:`GameState.undo` / :meth:`GameState.can_undo` — the in-place
+  apply/undo protocol for kernels that can cheaply revert their last move
+  (Morpion keeps an undo journal, TSP pops the tour tail).  Kernels whose
+  ``apply`` destroys information (SameGame gravity) simply keep
+  ``can_undo() == False`` and rely on ``copy()`` scratch states.
+* :meth:`GameState.encode` / :func:`decode_state` — compact, pickle-free
+  wire forms for shipping positions to worker processes
+  (:mod:`repro.parallel.pool`).  A subclass opts in by setting a
+  ``WIRE_KIND`` tag and implementing ``encode_payload`` /
+  ``decode_payload``; states without a codec fall back to a tagged pickle
+  frame so the worker pool stays generic.
 """
 
 from __future__ import annotations
 
 import abc
+import pickle
 import random
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterable, List, Optional, Tuple
+from typing import Any, Callable, ClassVar, Dict, Hashable, Iterable, List, Optional, Tuple
 
 __all__ = [
     "Move",
@@ -35,7 +59,16 @@ __all__ = [
     "random_playout",
     "playout_from",
     "legal_after",
+    "decode_state",
+    "wire_kinds",
 ]
+
+#: Wire-format decoders, keyed by the ``WIRE_KIND`` tag of the state class.
+#: Populated automatically by ``GameState.__init_subclass__``.
+_WIRE_DECODERS: Dict[str, Callable[[bytes], "GameState"]] = {}
+
+#: Reserved tag for the pickle fallback frame (never a registered kind).
+_PICKLE_KIND = "pickle"
 
 #: A move may be any hashable object; domains define their own concrete types.
 Move = Hashable
@@ -47,6 +80,25 @@ class GameState(abc.ABC):
     Implementations must be *self-contained*: copying a state and playing
     moves on the copy must never affect the original.
     """
+
+    #: Wire-format tag for :meth:`encode`; ``None`` means "no compact codec,
+    #: fall back to a tagged pickle frame".  Subclasses that set it must
+    #: implement :meth:`encode_payload` and :meth:`decode_payload`.
+    WIRE_KIND: ClassVar[Optional[str]] = None
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        kind = cls.__dict__.get("WIRE_KIND")
+        if kind is not None:
+            if kind == _PICKLE_KIND:
+                raise ValueError(f"WIRE_KIND {kind!r} is reserved for the pickle fallback")
+            existing = getattr(_WIRE_DECODERS.get(kind), "__self__", None)
+            if existing is not None and (
+                existing.__module__ != cls.__module__
+                or existing.__qualname__ != cls.__qualname__
+            ):
+                raise ValueError(f"duplicate WIRE_KIND {kind!r}")
+            _WIRE_DECODERS[kind] = cls.decode_payload
 
     # ------------------------------------------------------------------ #
     # Abstract primitives
@@ -105,6 +157,87 @@ class GameState(abc.ABC):
         use this ordering for their base-level samples.
         """
         return self.legal_moves()
+
+    # ------------------------------------------------------------------ #
+    # In-place playout protocol
+    # ------------------------------------------------------------------ #
+    def playout(
+        self, rng: random.Random, counter: Optional["object"] = None
+    ) -> Tuple[float, Tuple[Move, ...]]:
+        """Play uniformly random moves **in place** until terminal.
+
+        Returns ``(score, moves_played)``.  This is the reference loop every
+        playout in the library bottoms out in; kernels may override it with a
+        specialised implementation, but the override must draw exactly one
+        ``rng.randrange(len(legal))`` per move over the same ordered legal
+        list, so that seeded playouts stay bit-identical with the generic
+        loop (``tests/test_playout_golden.py`` enforces this).
+
+        ``counter`` — if given, an object with an ``add_moves(n)`` method
+        (see :class:`repro.core.counters.WorkCounter`), called exactly once
+        with the total number of moves played.
+        """
+        moves_played: List[Move] = []
+        append = moves_played.append
+        legal_moves = self.legal_moves
+        apply = self.apply
+        randrange = rng.randrange
+        while True:
+            legal = legal_moves()
+            if not legal:
+                break
+            move = legal[randrange(len(legal))]
+            apply(move)
+            append(move)
+        if counter is not None:
+            counter.add_moves(len(moves_played))
+        return self.score(), tuple(moves_played)
+
+    # ------------------------------------------------------------------ #
+    # Apply/undo protocol (opt-in)
+    # ------------------------------------------------------------------ #
+    def can_undo(self) -> bool:
+        """True when :meth:`undo` can revert the last :meth:`apply`."""
+        return False
+
+    def undo(self) -> None:
+        """Revert the most recent :meth:`apply` in place.
+
+        Only available when :meth:`can_undo` returns True; kernels that keep
+        an undo journal (Morpion) or a trivially reversible representation
+        (TSP) override both.  Raises ``ValueError`` when there is nothing to
+        undo.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support undo")
+
+    # ------------------------------------------------------------------ #
+    # Compact wire forms (opt-in; pickle fallback otherwise)
+    # ------------------------------------------------------------------ #
+    def encode(self) -> bytes:
+        """Compact wire form of this state (``decode_state`` inverts it).
+
+        The frame is ``<kind>\\x00<payload>``.  Classes with a ``WIRE_KIND``
+        emit their compact payload; every other state is wrapped in a tagged
+        pickle frame so the worker pool can ship *any* game, just not as
+        compactly.
+        """
+        kind = type(self).WIRE_KIND
+        if kind is None:
+            return _PICKLE_KIND.encode("ascii") + b"\x00" + pickle.dumps(
+                self, pickle.HIGHEST_PROTOCOL
+            )
+        return kind.encode("ascii") + b"\x00" + self.encode_payload()
+
+    def encode_payload(self) -> bytes:
+        """The ``WIRE_KIND``-specific payload of :meth:`encode`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} sets no WIRE_KIND / compact payload"
+        )
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "GameState":
+        """Rebuild a state from the payload produced by :meth:`encode_payload`."""
+        raise NotImplementedError(f"{cls.__name__} sets no WIRE_KIND / compact payload")
 
 
 @dataclass
@@ -182,18 +315,11 @@ def playout_from(
     ``counter`` — if given, an object with an ``add_moves(n)`` method (see
     :class:`repro.core.counters.WorkCounter`) incremented with the number of
     moves played, which feeds the simulated-time cost model.
+
+    Delegates to :meth:`GameState.playout`, the overridable in-place playout
+    primitive, so kernels with specialised loops are picked up everywhere.
     """
-    moves_played: List[Move] = []
-    while True:
-        legal = state.legal_moves()
-        if not legal:
-            break
-        move = legal[rng.randrange(len(legal))]
-        state.apply(move)
-        moves_played.append(move)
-    if counter is not None:
-        counter.add_moves(len(moves_played))
-    return state.score(), tuple(moves_played)
+    return state.playout(rng, counter)
 
 
 def random_playout(
@@ -206,9 +332,36 @@ def random_playout(
     This is the paper's ``sample(position)`` primitive (Section III), returning
     both the terminal score and the move sequence that reached it.
     """
-    return playout_from(state.copy(), rng, counter)
+    return state.copy().playout(rng, counter)
 
 
 def legal_after(state: GameState, moves: Iterable[Move]) -> List[Move]:
     """Legal moves after playing ``moves`` from ``state`` (convenience)."""
     return play_sequence(state, moves).legal_moves()
+
+
+def decode_state(data: bytes) -> GameState:
+    """Inverse of :meth:`GameState.encode`.
+
+    Dispatches on the frame's kind tag: registered ``WIRE_KIND`` payloads go
+    through the class codec, ``pickle`` frames through ``pickle.loads``.
+    """
+    kind_bytes, sep, payload = data.partition(b"\x00")
+    if not sep:
+        raise ValueError("not a state wire frame (missing kind separator)")
+    kind = kind_bytes.decode("ascii", errors="replace")
+    if kind == _PICKLE_KIND:
+        state = pickle.loads(payload)
+        if not isinstance(state, GameState):
+            raise ValueError(f"pickle frame did not contain a GameState: {type(state)!r}")
+        return state
+    decoder = _WIRE_DECODERS.get(kind)
+    if decoder is None:
+        known = ", ".join(sorted(_WIRE_DECODERS)) or "(none)"
+        raise ValueError(f"unknown state wire kind {kind!r}; registered kinds: {known}")
+    return decoder(payload)
+
+
+def wire_kinds() -> Tuple[str, ...]:
+    """The registered compact wire kinds (sorted; excludes the pickle fallback)."""
+    return tuple(sorted(_WIRE_DECODERS))

@@ -11,17 +11,33 @@ A move is a :class:`MorpionMove` ``(point, direction_index, start)``: the new
 circle ``point`` and the line identified by its starting cell ``start`` and
 its canonical direction index.  Two moves placing the same point but drawing
 different lines are distinct moves, exactly as in the paper-and-pencil game.
+
+Fast-kernel notes
+-----------------
+Occupancy and per-direction usage marks live on flat ``bytearray`` grids
+(origin-offset, with a margin of at least ``line_length`` around every
+occupied cell, regrown on demand as the position spreads), so the window
+scans of the incremental update are integer index walks instead of
+tuple-hashing set probes.  ``_legal`` maps each legal move to its
+precomputed usage-mark ``frozenset``, which turns the conflict pruning in
+:meth:`apply` into ``frozenset.isdisjoint`` calls, and the sorted legal list
+is cached between moves.  Every apply also journals enough to support
+:meth:`undo` in O(line changes).  Move identity, ordering and rng
+consumption are bit-identical with the reference implementation; the seeded
+playout goldens (``tests/data/playout_golden.json``) pin this.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Optional, Sequence, Set, Tuple
+import struct
+from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Optional, Set, Tuple
 
 from repro.games.base import GameState, Move
 from repro.games.morpion.geometry import (
     DIRECTIONS,
     Point,
+    bounding_box,
     cross_points,
     line_cells,
     neighbours,
@@ -91,16 +107,26 @@ class MorpionState(GameState):
         keeping the branching structure of the real game.
     """
 
+    WIRE_KIND = "morpion"
+
     __slots__ = (
         "line_length",
         "variant",
         "max_moves",
         "_initial",
         "_occupied",
-        "_candidates",
         "_used",
         "_legal",
         "_history",
+        "_sorted_legal",
+        "_journal",
+        "_occ",
+        "_usedg",
+        "_gx0",
+        "_gy0",
+        "_gx1",
+        "_gy1",
+        "_gh",
     )
 
     def __init__(
@@ -122,15 +148,49 @@ class MorpionState(GameState):
             raise ValueError("the initial position needs at least one circle")
         self._initial: FrozenSet[Point] = frozenset(pts)
         self._occupied: Set[Point] = set(pts)
-        self._candidates: Set[Point] = set()
-        for p in pts:
-            for q in neighbours(p):
-                if q not in self._occupied:
-                    self._candidates.add(q)
         # Per-direction usage marks: points for DISJOINT, segment starts for TOUCHING.
         self._used: List[Set[Point]] = [set() for _ in DIRECTIONS]
         self._history: List[MorpionMove] = []
-        self._legal: Set[MorpionMove] = self._scan_all_legal()
+        self._journal: List[tuple] = []
+        self._rebuild_grids()
+        self._legal: Dict[MorpionMove, FrozenSet[Point]] = self._scan_all_legal()
+        self._sorted_legal: Optional[List[MorpionMove]] = None
+
+    # ------------------------------------------------------------------ #
+    # Flat-grid plumbing
+    # ------------------------------------------------------------------ #
+    def _rebuild_grids(self, extra: Optional[Point] = None) -> None:
+        """(Re)allocate the occupancy / usage grids around the current position.
+
+        The pad of ``2 * line_length + 2`` keeps every occupied cell at least
+        ``line_length`` away from the grid edge even after another
+        ``line_length`` moves toward that edge, so regrows are amortised and
+        every window scan through a candidate cell stays in bounds with no
+        wraparound between grid columns.
+        """
+        pts = self._occupied if extra is None else self._occupied | {extra}
+        min_x, min_y, max_x, max_y = bounding_box(pts)
+        pad = 2 * self.line_length + 2
+        self._gx0 = min_x - pad
+        self._gy0 = min_y - pad
+        self._gx1 = max_x + pad
+        self._gy1 = max_y + pad
+        self._gh = self._gy1 - self._gy0 + 1
+        size = (self._gx1 - self._gx0 + 1) * self._gh
+        gx0, gy0, gh = self._gx0, self._gy0, self._gh
+        occ = bytearray(size)
+        for (x, y) in self._occupied:
+            occ[(x - gx0) * gh + (y - gy0)] = 1
+        usedg = bytearray(size)
+        for di, marks in enumerate(self._used):
+            bit = 1 << di
+            for (x, y) in marks:
+                usedg[(x - gx0) * gh + (y - gy0)] |= bit
+        self._occ = occ
+        self._usedg = usedg
+
+    def _marks_for(self, move: MorpionMove) -> FrozenSet[Point]:
+        return frozenset(self._usage_marks(move))
 
     # ------------------------------------------------------------------ #
     # Rule primitives
@@ -152,32 +212,49 @@ class MorpionState(GameState):
     def _window_move(self, start: Point, di: int) -> Optional[MorpionMove]:
         """If the window ``(start, di)`` has exactly one empty cell and no
         conflict, return the corresponding legal move, else ``None``."""
-        direction = DIRECTIONS[di]
-        cells = line_cells(start, direction, self.line_length)
-        empty: Optional[Point] = None
-        for cell in cells:
-            if cell not in self._occupied:
-                if empty is not None:
-                    return None  # two empty cells: not playable yet
-                empty = cell
-        if empty is None:
-            return None  # fully occupied window: nothing to place
-        move = MorpionMove(empty, di, start)
-        if self._conflicts(move):
-            return None
-        return move
-
-    def _scan_all_legal(self) -> Set[MorpionMove]:
-        """Full scan of legal moves (used at construction and for testing)."""
-        legal: Set[MorpionMove] = set()
         length = self.line_length
-        for p in self._candidates:
+        dx, dy = DIRECTIONS[di]
+        gh = self._gh
+        step = dx * gh + dy
+        j = (start[0] - self._gx0) * gh + (start[1] - self._gy0)
+        occ = self._occ
+        empty = -1
+        for _ in range(length):
+            if not occ[j]:
+                if empty >= 0:
+                    return None  # two empty cells: not playable yet
+                empty = j
+            j += step
+        if empty < 0:
+            return None  # fully occupied window: nothing to place
+        usedg = self._usedg
+        bit = 1 << di
+        j = (start[0] - self._gx0) * gh + (start[1] - self._gy0)
+        mark_count = length if self.variant is MorpionVariant.DISJOINT else length - 1
+        for _ in range(mark_count):
+            if usedg[j] & bit:
+                return None
+            j += step
+        ex, ey = divmod(empty, gh)
+        return MorpionMove((ex + self._gx0, ey + self._gy0), di, start)
+
+    def _scan_all_legal(self) -> Dict[MorpionMove, FrozenSet[Point]]:
+        """Full scan of legal moves (used at construction and for testing)."""
+        legal: Dict[MorpionMove, FrozenSet[Point]] = {}
+        length = self.line_length
+        occupied = self._occupied
+        candidates: Set[Point] = set()
+        for pt in occupied:
+            for q in neighbours(pt):
+                if q not in occupied:
+                    candidates.add(q)
+        for p in candidates:
             for di, (dx, dy) in enumerate(DIRECTIONS):
                 for offset in range(length):
                     start = (p[0] - offset * dx, p[1] - offset * dy)
                     move = self._window_move(start, di)
                     if move is not None and move.point == p:
-                        legal.add(move)
+                        legal[move] = self._marks_for(move)
         return legal
 
     def recompute_legal_moves(self) -> List[MorpionMove]:
@@ -190,7 +267,10 @@ class MorpionState(GameState):
     def legal_moves(self) -> List[Move]:
         if self.max_moves is not None and len(self._history) >= self.max_moves:
             return []
-        return sorted(self._legal)
+        cached = self._sorted_legal
+        if cached is None:
+            cached = self._sorted_legal = sorted(self._legal)
+        return list(cached)
 
     def is_terminal(self) -> bool:
         if self.max_moves is not None and len(self._history) >= self.max_moves:
@@ -206,44 +286,152 @@ class MorpionState(GameState):
                 move = MorpionMove(*move)  # type: ignore[misc]
             except TypeError as exc:  # pragma: no cover - defensive
                 raise ValueError(f"not a Morpion move: {move!r}") from exc
-        if move not in self._legal:
+        new_marks = self._legal.get(move)
+        if new_marks is None:
             raise ValueError(f"illegal Morpion move {move!r}")
         length = self.line_length
         p = move.point
-        new_marks = set(self._usage_marks(move))
+        x, y = p
+        if (
+            x - self._gx0 < length
+            or self._gx1 - x < length
+            or y - self._gy0 < length
+            or self._gy1 - y < length
+        ):
+            self._rebuild_grids(extra=p)
+        gx0, gy0, gh = self._gx0, self._gy0, self._gh
+        occ = self._occ
+        usedg = self._usedg
+        idx_p = (x - gx0) * gh + (y - gy0)
 
-        # 1. Occupancy and candidate frontier.
+        # 1. Occupancy.
+        occ[idx_p] = 1
         self._occupied.add(p)
-        self._candidates.discard(p)
-        for q in neighbours(p):
-            if q not in self._occupied:
-                self._candidates.add(q)
 
         # 2. Usage marks for the move's direction.
-        self._used[move.direction] |= new_marks
+        di = move.direction
+        bit = 1 << di
+        self._used[di] |= new_marks
+        for (qx, qy) in new_marks:
+            usedg[(qx - gx0) * gh + (qy - gy0)] |= bit
 
         # 3. Incremental legal-move maintenance.
         #    (a) moves that wanted to place a circle on p are gone;
         #    (b) moves in the same direction that now conflict are gone;
         #    (c) windows through p may have become playable.
-        still_legal: Set[MorpionMove] = set()
-        for m in self._legal:
-            if m.point == p:
-                continue
-            if m.direction == move.direction and any(
-                cell in new_marks for cell in self._usage_marks(m)
-            ):
-                continue
-            still_legal.add(m)
-        self._legal = still_legal
-        for di, (dx, dy) in enumerate(DIRECTIONS):
-            for offset in range(length):
-                start = (p[0] - offset * dx, p[1] - offset * dy)
-                candidate = self._window_move(start, di)
-                if candidate is not None:
-                    self._legal.add(candidate)
+        mark_count = length if self.variant is MorpionVariant.DISJOINT else length - 1
+        # A move conflicts with the new line iff it is in the same direction
+        # and its marks overlap ``new_marks``.  Every mark set is an
+        # arithmetic progression of ``mark_count`` cells from its move's
+        # start along the direction vector, so overlap reduces to a
+        # colinearity-plus-distance test on the two starts — plain integer
+        # arithmetic instead of a set intersection per candidate.
+        prev_legal = self._legal
+        stx, sty = move.start
+        mc = mark_count
+        if di == 0:
+            self._legal = {
+                m: marks
+                for m, marks in prev_legal.items()
+                if m[0] != p
+                and (m[1] != 0 or m[2][1] != sty or not -mc < m[2][0] - stx < mc)
+            }
+        elif di == 1:
+            self._legal = {
+                m: marks
+                for m, marks in prev_legal.items()
+                if m[0] != p
+                and (m[1] != 1 or m[2][0] != stx or not -mc < m[2][1] - sty < mc)
+            }
+        elif di == 2:
+            self._legal = {
+                m: marks
+                for m, marks in prev_legal.items()
+                if m[0] != p
+                and (
+                    m[1] != 2
+                    or m[2][0] - stx != m[2][1] - sty
+                    or not -mc < m[2][0] - stx < mc
+                )
+            }
+        else:
+            self._legal = {
+                m: marks
+                for m, marks in prev_legal.items()
+                if m[0] != p
+                and (
+                    m[1] != 3
+                    or m[2][0] - stx != sty - m[2][1]
+                    or not -mc < m[2][0] - stx < mc
+                )
+            }
+        for dii, (dx, dy) in enumerate(DIRECTIONS):
+            step = dx * gh + dy
+            b = 1 << dii
+            span = length * step
+            mark_span = mark_count * step
+            s = idx_p
+            stop = idx_p - span
+            while s != stop:
+                empty = -1
+                j = s
+                jend = s + span
+                playable = True
+                while j != jend:
+                    if not occ[j]:
+                        if empty >= 0:
+                            playable = False
+                            break
+                        empty = j
+                    j += step
+                if playable and empty >= 0:
+                    j = s
+                    jend = s + mark_span
+                    while j != jend:
+                        if usedg[j] & b:
+                            playable = False
+                            break
+                        j += step
+                    if playable:
+                        sax = s // gh + gx0
+                        say = s % gh + gy0
+                        new_move = MorpionMove(
+                            (empty // gh + gx0, empty % gh + gy0), dii, (sax, say)
+                        )
+                        self._legal[new_move] = frozenset(
+                            [(sax + i * dx, say + i * dy) for i in range(mark_count)]
+                        )
+                s -= step
 
         self._history.append(move)
+        # Previous-legal dicts are never mutated after assignment, so keeping a
+        # reference is enough to restore them on undo.
+        self._journal.append((move, new_marks, prev_legal, self._sorted_legal))
+        self._sorted_legal = None
+
+    def can_undo(self) -> bool:
+        return True
+
+    def undo(self) -> None:
+        """Retract the most recent move (inverse of :meth:`apply`)."""
+        if not self._journal:
+            raise ValueError("no move to undo")
+        move, new_marks, prev_legal, prev_sorted = self._journal.pop()
+        self._history.pop()
+        p = move.point
+        self._occupied.discard(p)
+        di = move.direction
+        self._used[di] -= new_marks
+        gx0, gy0, gh = self._gx0, self._gy0, self._gh
+        self._occ[(p[0] - gx0) * gh + (p[1] - gy0)] = 0
+        # No other line in this direction uses these cells (that is the rule),
+        # so clearing the direction bit on the move's own marks is exact.
+        bit = ~(1 << di)
+        usedg = self._usedg
+        for (qx, qy) in new_marks:
+            usedg[(qx - gx0) * gh + (qy - gy0)] &= bit
+        self._legal = prev_legal
+        self._sorted_legal = prev_sorted
 
     def copy(self) -> "MorpionState":
         clone = MorpionState.__new__(MorpionState)
@@ -252,10 +440,18 @@ class MorpionState(GameState):
         clone.max_moves = self.max_moves
         clone._initial = self._initial
         clone._occupied = set(self._occupied)
-        clone._candidates = set(self._candidates)
         clone._used = [set(u) for u in self._used]
-        clone._legal = set(self._legal)
+        clone._legal = self._legal  # never mutated in place; replaced on apply
         clone._history = list(self._history)
+        clone._journal = list(self._journal)
+        clone._sorted_legal = self._sorted_legal
+        clone._occ = bytearray(self._occ)
+        clone._usedg = bytearray(self._usedg)
+        clone._gx0 = self._gx0
+        clone._gy0 = self._gy0
+        clone._gx1 = self._gx1
+        clone._gy1 = self._gy1
+        clone._gh = self._gh
         return clone
 
     def score(self) -> float:
@@ -264,6 +460,54 @@ class MorpionState(GameState):
 
     def moves_played(self) -> int:
         return len(self._history)
+
+    # ------------------------------------------------------------------ #
+    # Compact wire form: rules header + initial points + history (replayed
+    # on decode, which is exact because apply is deterministic).
+    # ------------------------------------------------------------------ #
+    def encode_payload(self) -> bytes:
+        variant_flag = 0 if self.variant is MorpionVariant.DISJOINT else 1
+        max_moves = 0 if self.max_moves is None else self.max_moves + 1
+        parts = [
+            struct.pack(
+                "<BBiII",
+                self.line_length,
+                variant_flag,
+                max_moves,
+                len(self._initial),
+                len(self._history),
+            )
+        ]
+        for (x, y) in sorted(self._initial):
+            parts.append(struct.pack("<ii", x, y))
+        for m in self._history:
+            parts.append(
+                struct.pack("<iiBii", m.point[0], m.point[1], m.direction, m.start[0], m.start[1])
+            )
+        return b"".join(parts)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "MorpionState":
+        line_length, variant_flag, max_moves, n_initial, n_history = struct.unpack_from(
+            "<BBiII", payload
+        )
+        offset = struct.calcsize("<BBiII")
+        initial = []
+        for _ in range(n_initial):
+            initial.append(struct.unpack_from("<ii", payload, offset))
+            offset += 8
+        state = cls(
+            line_length=line_length,
+            variant=MorpionVariant.TOUCHING if variant_flag else MorpionVariant.DISJOINT,
+            initial_points=initial,
+            max_moves=None if max_moves == 0 else max_moves - 1,
+        )
+        move_size = struct.calcsize("<iiBii")
+        for _ in range(n_history):
+            px, py, di, sx, sy = struct.unpack_from("<iiBii", payload, offset)
+            offset += move_size
+            state.apply(MorpionMove((px, py), di, (sx, sy)))
+        return state
 
     # ------------------------------------------------------------------ #
     # Introspection used by rendering, records and tests
@@ -315,6 +559,16 @@ class MorpionState(GameState):
             occupied.add(m.point)
         assert occupied == self._occupied, "occupancy inconsistent with history"
         assert [set(u) for u in self._used] == expected_used, "usage marks inconsistent"
+        gx0, gy0, gh = self._gx0, self._gy0, self._gh
+        for (x, y) in self._occupied:
+            assert self._occ[(x - gx0) * gh + (y - gy0)] == 1, "occupancy grid diverged"
+        assert sum(self._occ) == len(self._occupied), "occupancy grid has stray cells"
+        for di, marks_set in enumerate(self._used):
+            bit = 1 << di
+            marked = sum(1 for v in self._usedg if v & bit)
+            assert marked == len(marks_set), "usage grid diverged"
+            for (x, y) in marks_set:
+                assert self._usedg[(x - gx0) * gh + (y - gy0)] & bit, "usage grid missing mark"
         assert self._legal == self._scan_all_legal(), "incremental legal moves diverged"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

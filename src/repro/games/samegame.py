@@ -20,12 +20,25 @@ Rules
 Moves are identified by the *anchor cell* of the group: the (column, row) of
 the lowest-then-leftmost cell of the group, which is stable under the
 canonical board representation and therefore hashable and replayable.
+
+Fast-kernel notes
+-----------------
+Columns are stored as ``bytearray`` stacks (bottom first, colours ``1..255``)
+and all removable groups are enumerated by **one** iterative flood-fill pass
+over a flat sentinel-padded scratch board — replacing the per-cell
+``_group_at``/``_cell_color`` call storm the rollout profiler identified as
+the dominant hotspot.  The group table is computed at most once per position
+and shared between :meth:`legal_moves` and :meth:`apply` (the pre-refactor
+kernel recomputed every group in both).  Move identifiers, ordering and
+scores are bit-identical with the reference implementation; the seeded
+playout goldens (``tests/data/playout_golden.json``) pin this.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.games.base import GameState, Move
 
@@ -60,22 +73,31 @@ class SameGameState(GameState):
 
     FULL_CLEAR_BONUS = 1000.0
 
-    __slots__ = ("_columns", "_score", "_moves_played", "height")
+    WIRE_KIND = "samegame"
+
+    __slots__ = ("_columns", "_score", "_moves_played", "height", "_group_cache")
 
     def __init__(self, board: Sequence[Sequence[int]], height: Optional[int] = None):
         # Internally columns only store the stacked (non-empty) cells, bottom
         # first; ``height`` is retained for rendering / invariants.
-        self._columns: List[List[int]] = [list(col) for col in board]
+        columns: List[bytearray] = []
+        for col in board:
+            cells = list(col)
+            if any(v <= 0 for v in cells):
+                raise ValueError("board colours must be positive integers")
+            if any(v > 255 for v in cells):
+                raise ValueError("board colours must fit in a byte (1..255)")
+            columns.append(bytearray(cells))
+        self._columns = columns
         self.height = height if height is not None else (
             max((len(c) for c in self._columns), default=0)
         )
         for col in self._columns:
             if len(col) > self.height:
                 raise ValueError("column taller than the declared height")
-            if any(v <= 0 for v in col):
-                raise ValueError("board colours must be positive integers")
         self._score = 0.0
         self._moves_played = 0
+        self._group_cache: Optional[Dict[Cell, List[int]]] = None
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -95,34 +117,95 @@ class SameGameState(GameState):
             return self._columns[col][row]
         return 0
 
-    def _group_at(self, col: int, row: int) -> FrozenSet[Cell]:
-        """Connected same-colour group containing (col, row)."""
-        color = self._cell_color(col, row)
-        if color == 0:
-            return frozenset()
-        seen = {(col, row)}
-        stack = [(col, row)]
-        while stack:
-            c, r = stack.pop()
-            for nc, nr in ((c + 1, r), (c - 1, r), (c, r + 1), (c, r - 1)):
-                if (nc, nr) not in seen and self._cell_color(nc, nr) == color:
-                    seen.add((nc, nr))
-                    stack.append((nc, nr))
-        return frozenset(seen)
+    def _groups(self) -> Dict[Cell, List[int]]:
+        """All removable groups, keyed by anchor cell, cells as flat indices.
 
-    def _groups(self) -> Dict[Cell, FrozenSet[Cell]]:
-        """All removable groups keyed by their anchor cell."""
-        assigned: set = set()
-        groups: Dict[Cell, FrozenSet[Cell]] = {}
-        for ci, col in enumerate(self._columns):
-            for ri in range(len(col)):
-                if (ci, ri) in assigned:
-                    continue
-                group = self._group_at(ci, ri)
-                assigned |= group
-                if len(group) >= 2:
-                    anchor = min(group, key=lambda cell: (cell[1], cell[0]))
-                    groups[anchor] = group
+        One flood-fill pass over a sentinel-padded flat scratch board: a cell
+        at ``(col, row)`` sits at index ``(col + 1) * stride + row`` with
+        ``stride = height + 1``, so its four neighbours are ``±1`` (within
+        the column, the sentinel byte above each stack stops the walk) and
+        ``±stride`` (adjacent columns; ghost columns of zeros pad both
+        sides).  Every cell is visited once; singletons short-circuit before
+        any stack work.
+        """
+        cached = self._group_cache
+        if cached is not None:
+            return cached
+        columns = self._columns
+        width = len(columns)
+        stride = self.height + 1
+        flat = bytearray((width + 2) * stride)
+        for ci, col in enumerate(columns):
+            base = (ci + 1) * stride
+            flat[base : base + len(col)] = col
+        # Visited cells are zeroed in place (colours are >= 1, so zero is
+        # unambiguous).  This is safe for the singleton fast path: a cell is
+        # only zeroed when absorbed into a group, and any same-coloured
+        # neighbour of a still-unvisited cell is necessarily unvisited too
+        # (otherwise this cell would already belong to that group).
+        groups: Dict[Cell, List[int]] = {}
+        w2 = width + 2
+        for ci, col in enumerate(columns):
+            idx = (ci + 1) * stride
+            top = idx + len(col)
+            while idx < top:
+                color = flat[idx]
+                # Singleton fast path: skip unless a same-coloured neighbour
+                # exists (visited cells are zero and colours are >= 1).
+                if color and (
+                    flat[idx + 1] == color
+                    or flat[idx - 1] == color
+                    or flat[idx + stride] == color
+                    or flat[idx - stride] == color
+                ):
+                    # Breadth-first flood with a read cursor over ``cells``
+                    # itself — one append per cell, no stack pops.  The anchor
+                    # (lowest row, then leftmost column) is tracked inline as
+                    # the minimum of row * (width + 2) + (col + 1), an integer
+                    # with the same ordering; cells reached via ``j + 1`` sit
+                    # one row higher than ``j``, so only the other three
+                    # neighbours can lower it.
+                    flat[idx] = 0
+                    cells = [idx]
+                    keep = cells.append
+                    ak = (idx % stride) * w2 + idx // stride
+                    pos = 0
+                    n = 1
+                    while pos < n:
+                        j = cells[pos]
+                        pos += 1
+                        k = j + 1
+                        if flat[k] == color:
+                            flat[k] = 0
+                            keep(k)
+                            n += 1
+                        k = j - 1
+                        if flat[k] == color:
+                            flat[k] = 0
+                            keep(k)
+                            n += 1
+                            kk = (k % stride) * w2 + k // stride
+                            if kk < ak:
+                                ak = kk
+                        k = j + stride
+                        if flat[k] == color:
+                            flat[k] = 0
+                            keep(k)
+                            n += 1
+                            kk = (k % stride) * w2 + k // stride
+                            if kk < ak:
+                                ak = kk
+                        k = j - stride
+                        if flat[k] == color:
+                            flat[k] = 0
+                            keep(k)
+                            n += 1
+                            kk = (k % stride) * w2 + k // stride
+                            if kk < ak:
+                                ak = kk
+                    groups[(ak % w2 - 1, ak // w2)] = cells
+                idx += 1
+        self._group_cache = groups
         return groups
 
     # ------------------------------------------------------------------ #
@@ -133,30 +216,35 @@ class SameGameState(GameState):
 
     def apply(self, move: Move) -> None:
         groups = self._groups()
-        if move not in groups:
+        cells = groups.get(move)
+        if cells is None:
             raise ValueError(f"illegal SameGame move {move!r}")
-        group = groups[move]
-        n = len(group)
+        n = len(cells)
+        stride = self.height + 1
         # Remove the cells column by column (from the top so indices stay valid).
         by_column: Dict[int, List[int]] = {}
-        for c, r in group:
-            by_column.setdefault(c, []).append(r)
+        for idx in cells:
+            by_column.setdefault(idx // stride - 1, []).append(idx % stride)
+        columns = self._columns
         for c, rows in by_column.items():
+            col = columns[c]
             for r in sorted(rows, reverse=True):
-                del self._columns[c][r]
+                del col[r]
         # Compact empty columns to the left.
-        self._columns = [col for col in self._columns if col]
+        self._columns = [col for col in columns if col]
         self._score += float((n - 2) ** 2)
         self._moves_played += 1
         if not self._columns:
             self._score += self.FULL_CLEAR_BONUS
+        self._group_cache = None
 
     def copy(self) -> "SameGameState":
         clone = SameGameState.__new__(SameGameState)
-        clone._columns = [list(col) for col in self._columns]
+        clone._columns = [bytearray(col) for col in self._columns]
         clone.height = self.height
         clone._score = self._score
         clone._moves_played = self._moves_played
+        clone._group_cache = None
         return clone
 
     def score(self) -> float:
@@ -164,6 +252,37 @@ class SameGameState(GameState):
 
     def moves_played(self) -> int:
         return self._moves_played
+
+    # ------------------------------------------------------------------ #
+    # Compact wire form
+    # ------------------------------------------------------------------ #
+    def encode_payload(self) -> bytes:
+        """``<height, score, moves_played, n_cols>`` header + length-prefixed columns."""
+        parts = [
+            struct.pack("<IdII", self.height, self._score, self._moves_played, len(self._columns))
+        ]
+        for col in self._columns:
+            parts.append(struct.pack("<I", len(col)))
+            parts.append(bytes(col))
+        return b"".join(parts)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "SameGameState":
+        height, score, moves_played, n_cols = struct.unpack_from("<IdII", payload)
+        offset = struct.calcsize("<IdII")
+        columns: List[bytearray] = []
+        for _ in range(n_cols):
+            (length,) = struct.unpack_from("<I", payload, offset)
+            offset += 4
+            columns.append(bytearray(payload[offset : offset + length]))
+            offset += length
+        state = cls.__new__(cls)
+        state._columns = columns
+        state.height = height
+        state._score = score
+        state._moves_played = moves_played
+        state._group_cache = None
+        return state
 
     # ------------------------------------------------------------------ #
     # Introspection helpers used by tests and examples

@@ -16,12 +16,23 @@ moves can optionally be restricted to the ``k`` nearest unvisited cities
 (``neighbourhood`` parameter) — this mirrors Guerriero & Mancini's use of
 restricted neighbourhoods and is the knob their speedups were reported
 against.
+
+Fast-kernel notes
+-----------------
+The tour length is maintained incrementally (one distance-row lookup per
+apply) on plain Python-float distance rows — per-element indexing of the
+numpy matrix dominates a playout otherwise — and ``legal_moves`` walks a
+per-city neighbour order precomputed once per instance instead of sorting
+the remaining cities every call.  Both tables are built lazily and shared by
+``copy()``; a Python stable sort by distance equals the precomputed
+``(distance, index)`` order walk, so move ordering is bit-identical with the
+reference implementation (pinned by ``tests/data/playout_golden.json``).
 """
 
 from __future__ import annotations
 
-import math
 import random
+import struct
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -83,11 +94,31 @@ class TSPInstance:
             tour.append(nxt)
         return tour
 
+    def fast_tables(self) -> Tuple[List[List[float]], List[List[int]]]:
+        """Hot-path tables: Python-float distance rows and per-city neighbour order.
+
+        ``order[c]`` lists all cities sorted by ``(distances[c][x], x)``, which
+        is exactly the order a Python stable sort by distance produces over an
+        index-ordered candidate list.  Built once per instance (cached on the
+        frozen dataclass via ``object.__setattr__``) and shared by every state.
+        """
+        cached = getattr(self, "_fast_tables", None)
+        if cached is None:
+            rows: List[List[float]] = self.distances.tolist()
+            order = [
+                sorted(range(len(rows)), key=lambda c, row=row: (row[c], c)) for row in rows
+            ]
+            cached = (rows, order)
+            object.__setattr__(self, "_fast_tables", cached)
+        return cached
+
 
 class TSPState(GameState):
     """Partial tour state over a :class:`TSPInstance`."""
 
-    __slots__ = ("instance", "neighbourhood", "_tour", "_visited", "_length")
+    WIRE_KIND = "tsp"
+
+    __slots__ = ("instance", "neighbourhood", "_tour", "_visited", "_length", "_dist", "_order")
 
     def __init__(self, instance: TSPInstance, neighbourhood: Optional[int] = None):
         self.instance = instance
@@ -95,51 +126,73 @@ class TSPState(GameState):
             raise ValueError("neighbourhood must be >= 1 when given")
         self.neighbourhood = neighbourhood
         self._tour: List[int] = [0]
-        self._visited = {0}
+        self._visited = bytearray(instance.n_cities)
+        self._visited[0] = 1
         self._length = 0.0
+        self._dist, self._order = instance.fast_tables()
 
     # ------------------------------------------------------------------ #
     # GameState interface
     # ------------------------------------------------------------------ #
     def legal_moves(self) -> List[Move]:
-        n = self.instance.n_cities
-        remaining = [c for c in range(n) if c not in self._visited]
-        if not remaining:
+        visited = self._visited
+        n = len(visited)
+        n_remaining = n - len(self._tour)
+        if n_remaining == 0:
             return []
-        if self.neighbourhood is None or len(remaining) <= self.neighbourhood:
-            return remaining
-        last = self._tour[-1]
-        remaining.sort(key=lambda c: float(self.instance.distances[last, c]))
-        return remaining[: self.neighbourhood]
+        k = self.neighbourhood
+        if k is None or n_remaining <= k:
+            return [c for c in range(n) if not visited[c]]
+        moves: List[Move] = []
+        for c in self._order[self._tour[-1]]:
+            if not visited[c]:
+                moves.append(c)
+                if len(moves) == k:
+                    break
+        return moves
 
     def apply(self, move: Move) -> None:
-        if not isinstance(move, int) or move in self._visited or not (
-            0 <= move < self.instance.n_cities
+        if (
+            not isinstance(move, int)
+            or not (0 <= move < len(self._visited))
+            or self._visited[move]
         ):
             raise ValueError(f"illegal TSP move {move!r}")
-        last = self._tour[-1]
-        self._length += float(self.instance.distances[last, move])
+        self._length += self._dist[self._tour[-1]][move]
         self._tour.append(move)
-        self._visited.add(move)
+        self._visited[move] = 1
+
+    def can_undo(self) -> bool:
+        return True
+
+    def undo(self) -> None:
+        """Retract the most recent move (inverse of :meth:`apply`)."""
+        if len(self._tour) < 2:
+            raise ValueError("no move to undo")
+        move = self._tour.pop()
+        self._visited[move] = 0
+        self._length -= self._dist[self._tour[-1]][move]
 
     def copy(self) -> "TSPState":
         clone = TSPState.__new__(TSPState)
         clone.instance = self.instance
         clone.neighbourhood = self.neighbourhood
         clone._tour = list(self._tour)
-        clone._visited = set(self._visited)
+        clone._visited = bytearray(self._visited)
         clone._length = self._length
+        clone._dist = self._dist
+        clone._order = self._order
         return clone
 
     def score(self) -> float:
         # Negated tour length, including the closing edge once complete.
         length = self._length
-        if len(self._visited) == self.instance.n_cities:
-            length += float(self.instance.distances[self._tour[-1], self._tour[0]])
+        if len(self._tour) == len(self._visited):
+            length += self._dist[self._tour[-1]][self._tour[0]]
         return -length
 
     def is_terminal(self) -> bool:
-        return len(self._visited) == self.instance.n_cities
+        return len(self._tour) == len(self._visited)
 
     def moves_played(self) -> int:
         return len(self._tour) - 1
@@ -149,6 +202,33 @@ class TSPState(GameState):
         last = self._tour[-1]
         moves = self.legal_moves()
         return sorted(moves, key=lambda c: float(self.instance.distances[last, c]))
+
+    # ------------------------------------------------------------------ #
+    # Compact wire form: coordinates + neighbourhood + tour; the decoder
+    # replays the tour so the incremental length accumulates identically.
+    # ------------------------------------------------------------------ #
+    def encode_payload(self) -> bytes:
+        coords = self.instance.coords
+        k = 0 if self.neighbourhood is None else self.neighbourhood
+        parts = [struct.pack("<III", len(coords), k, len(self._tour))]
+        for (x, y) in coords:
+            parts.append(struct.pack("<dd", x, y))
+        parts.append(struct.pack(f"<{len(self._tour)}H", *self._tour))
+        return b"".join(parts)
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "TSPState":
+        n, k, tour_len = struct.unpack_from("<III", payload)
+        offset = struct.calcsize("<III")
+        coords = []
+        for _ in range(n):
+            coords.append(struct.unpack_from("<dd", payload, offset))
+            offset += 16
+        tour = struct.unpack_from(f"<{tour_len}H", payload, offset)
+        state = cls(TSPInstance.from_coords(coords), neighbourhood=k or None)
+        for city in tour[1:]:
+            state.apply(city)
+        return state
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -162,4 +242,4 @@ class TSPState(GameState):
         return -self.score()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"TSPState(visited={len(self._visited)}/{self.instance.n_cities}, length={self.tour_length():.1f})"
+        return f"TSPState(visited={len(self._tour)}/{len(self._visited)}, length={self.tour_length():.1f})"

@@ -23,7 +23,8 @@ The document shape (``SCHEMA`` names it)::
      "games": {name: {playouts, wall_seconds, work_units,
                       mean_playout_seconds, mean_playout_moves,
                       units_per_second, implied_units_per_ghz,
-                      default_units_per_ghz, hotspots: [...],
+                      default_units_per_ghz, calibrated_units_per_ghz,
+                      speedup_vs_calibrated, hotspots: [...],
                       span_summary: {...}}}}
 
 The trajectory file is a JSON *array* of such documents; each profiling run
@@ -120,6 +121,11 @@ def profile_game(
 
     mean_seconds = wall / playouts
     units_per_second = counter.moves / wall if wall > 0 else 0.0
+    implied_units_per_ghz = units_per_second / REFERENCE_FREQ_GHZ
+    # The rate pinned on the workload at registration (measured from the
+    # committed pre-refactor baseline) — the ratio is the kernel speedup this
+    # host observes over that baseline.
+    calibrated = workload.units_per_ghz
     return {
         "playouts": playouts,
         "wall_seconds": wall,
@@ -130,8 +136,12 @@ def profile_game(
         # What units_per_ghz_per_second this host's measured playout speed
         # implies at the paper's reference frequency — feed to
         # CostModel(units_per_ghz_per_second=...) to calibrate simulated time.
-        "implied_units_per_ghz": units_per_second / REFERENCE_FREQ_GHZ,
+        "implied_units_per_ghz": implied_units_per_ghz,
         "default_units_per_ghz": DEFAULT_UNITS_PER_GHZ,
+        "calibrated_units_per_ghz": calibrated,
+        "speedup_vs_calibrated": (
+            implied_units_per_ghz / calibrated if calibrated else None
+        ),
         "hotspots": _hotspots(profiler, top) if profiler is not None else [],
         "span_summary": game_span.summary(),
     }
@@ -211,15 +221,17 @@ def format_cost_table(document: Dict[str, Any]) -> str:
     """Human-readable per-game cost table (the `repro profile` text output)."""
     header = (
         f"{'game':<14} {'playouts':>8} {'wall s':>9} {'ms/playout':>11} "
-        f"{'moves/po':>9} {'units/s':>12} {'units/GHz':>12}"
+        f"{'moves/po':>9} {'units/s':>12} {'units/GHz':>12} {'vs base':>8}"
     )
     lines = [header, "-" * len(header)]
     for name, row in document["games"].items():
+        speedup = row.get("speedup_vs_calibrated")
+        vs_base = f"{speedup:.1f}x" if speedup else "-"
         lines.append(
             f"{name:<14} {row['playouts']:>8} {row['wall_seconds']:>9.3f} "
             f"{row['mean_playout_seconds'] * 1e3:>11.3f} "
             f"{row['mean_playout_moves']:>9.1f} {row['units_per_second']:>12.0f} "
-            f"{row['implied_units_per_ghz']:>12.0f}"
+            f"{row['implied_units_per_ghz']:>12.0f} {vs_base:>8}"
         )
     lines.append("")
     lines.append(

@@ -19,7 +19,14 @@ that API.
 """
 
 from repro.parallel.config import DispatcherKind, ParallelConfig
-from repro.parallel.jobs import JobOutcome, JobExecutor, DirectJobExecutor, CachingJobExecutor
+from repro.parallel.jobs import (
+    JobOutcome,
+    JobExecutor,
+    DirectJobExecutor,
+    CachingJobExecutor,
+    PooledJobExecutor,
+)
+from repro.parallel.pool import PersistentWorkerPool, shared_pool, close_shared_pool
 from repro.parallel.driver import (
     ParallelRunResult,
     SequentialRunResult,
@@ -40,6 +47,10 @@ __all__ = [
     "JobExecutor",
     "DirectJobExecutor",
     "CachingJobExecutor",
+    "PooledJobExecutor",
+    "PersistentWorkerPool",
+    "shared_pool",
+    "close_shared_pool",
     "ParallelRunResult",
     "SequentialRunResult",
     "run_parallel_nmcs",

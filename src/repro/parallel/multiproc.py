@@ -1,4 +1,4 @@
-"""Real shared-memory parallel NMCS using ``multiprocessing``.
+"""Real shared-memory parallel NMCS using persistent worker processes.
 
 The simulated cluster (see :mod:`repro.parallel.driver`) reproduces the
 *cluster-scale* results of the paper; this module provides genuine wall-clock
@@ -12,19 +12,26 @@ the ablation that quantifies that limitation).  It follows the same seed
 derivation as the sequential algorithm, so — like the simulated cluster — it
 returns exactly the same result as :func:`repro.core.nested.nested_search`
 with the same master seed.
+
+Positions are shipped to the workers as compact binary wire frames
+(:meth:`repro.games.base.GameState.encode`) through a
+:class:`repro.parallel.pool.PersistentWorkerPool` instead of per-job pickled
+state objects; by default searches share the process-wide pool
+(:func:`repro.parallel.pool.shared_pool`), so repeated searches reuse the
+same worker processes instead of forking a fresh pool per call.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.core.nested import candidate_evaluations, evaluate_move
+from repro.core.nested import candidate_evaluations
 from repro.core.result import BestTracker, SearchResult
 from repro.games.base import GameState, Move
+from repro.parallel.pool import PersistentWorkerPool, shared_pool
 from repro.prng import SeedSequence
 
 __all__ = ["MultiprocessResult", "multiprocessing_nmcs", "pool_evaluate"]
@@ -44,20 +51,12 @@ class MultiprocessResult:
         return self.result.score
 
 
-def _evaluate_job(args: Tuple[GameState, Move, int, SeedSequence]) -> Tuple[float, Tuple[Move, ...]]:
-    """Worker-side evaluation of one candidate move (runs in a separate process)."""
-    state, move, level, seeds = args
-    result = evaluate_move(state, move, level, seeds)
-    return result.score, tuple(result.sequence)
-
-
 def pool_evaluate(
-    pool,
+    pool: PersistentWorkerPool,
     state: GameState,
     level: int,
     step: int,
     seeds: SeedSequence,
-    chunksize: int = 1,
 ) -> List[Tuple[int, float, Tuple[Move, ...]]]:
     """Evaluate every candidate move of ``state`` in parallel on ``pool``.
 
@@ -66,12 +65,8 @@ def pool_evaluate(
     evaluations = candidate_evaluations(state, level, step, seeds)
     if not evaluations:
         return []
-    jobs = [(state, move, level - 1, child_seeds) for _, move, child_seeds in evaluations]
-    outcomes = pool.map(_evaluate_job, jobs, chunksize=chunksize)
-    return [
-        (i, score, sequence)
-        for (i, _, _), (score, sequence) in zip(evaluations, outcomes)
-    ]
+    outcomes = pool.evaluate_candidates(state, evaluations, level - 1)
+    return [(index, score, sequence) for index, score, sequence, _ in outcomes]
 
 
 def multiprocessing_nmcs(
@@ -82,8 +77,9 @@ def multiprocessing_nmcs(
     max_steps: Optional[int] = None,
     seed_label: str = "nmcs",
     start_method: Optional[str] = None,
+    pool: Optional[PersistentWorkerPool] = None,
 ) -> MultiprocessResult:
-    """Root-level parallel NMCS on a local process pool.
+    """Root-level parallel NMCS on persistent worker processes.
 
     Parameters
     ----------
@@ -92,22 +88,31 @@ def multiprocessing_nmcs(
     max_steps:
         Stop after this many root moves (``1`` = first-move experiment).
     start_method:
-        ``multiprocessing`` start method; the platform default is used when
-        omitted (``fork`` on Linux, which is the cheapest).
+        ``multiprocessing`` start method.  When given, a dedicated pool with
+        that start method is created for this call; otherwise the
+        process-wide shared pool is used (and kept alive for later calls).
+    pool:
+        An explicit :class:`~repro.parallel.pool.PersistentWorkerPool` to run
+        on (the caller keeps ownership; ``n_workers``/``start_method`` are
+        ignored).
     """
     if level < 1:
         raise ValueError("level must be >= 1")
-    n_workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
     seeds = SeedSequence(master_seed, seed_label)
-    context = multiprocessing.get_context(start_method) if start_method else multiprocessing
+    own_pool: Optional[PersistentWorkerPool] = None
+    if pool is None:
+        if start_method is not None:
+            pool = own_pool = PersistentWorkerPool(n_workers=n_workers, start_method=start_method)
+        else:
+            pool = shared_pool(n_workers)
     start = time.perf_counter()
     n_evaluations = 0
 
-    position = state.copy()
-    best = BestTracker()
-    played: List[Move] = []
-    step = 0
-    with context.Pool(processes=n_workers) as pool:
+    try:
+        position = state.copy()
+        best = BestTracker()
+        played: List[Move] = []
+        step = 0
         while True:
             outcomes = pool_evaluate(pool, position, level, step, seeds)
             if not outcomes:
@@ -121,6 +126,9 @@ def multiprocessing_nmcs(
             step += 1
             if max_steps is not None and step >= max_steps:
                 break
+    finally:
+        if own_pool is not None:
+            own_pool.close()
 
     if best.has_sequence():
         score, moves = best.best()
@@ -130,6 +138,6 @@ def multiprocessing_nmcs(
     return MultiprocessResult(
         result=SearchResult(score=score, sequence=tuple(moves), level=level),
         wall_seconds=wall,
-        n_workers=n_workers,
+        n_workers=pool.n_workers,
         n_evaluations=n_evaluations,
     )

@@ -1,0 +1,268 @@
+"""A persistent, pickle-free worker pool for the real parallel executors.
+
+The original :mod:`repro.parallel.multiproc` spun up a fresh
+``multiprocessing.Pool`` per search call and shipped every job as a pickled
+``(state, move, level, seeds)`` tuple — re-pickling the *whole* game state
+(sets, dicts, a numpy matrix for TSP) once per candidate move.  This module
+replaces that with:
+
+* **Persistent workers** — processes are spawned once and reused across
+  batches, steps and whole searches (see :func:`shared_pool` for a
+  process-wide singleton).
+* **Compact wire forms** — positions cross the process boundary as the
+  game's own binary ``encode()`` frame (see :mod:`repro.games.base`), not as
+  a pickled object graph; games without a registered wire kind transparently
+  fall back to pickle payloads inside the same framing.
+* **Worker-side decode caching** — every candidate evaluation of a step
+  shares one encoded blob, so each worker decodes a given position at most
+  once and replays cheap ``copy()`` calls for the rest of the batch.
+
+Moves and result sequences travel as plain nested tuples (namedtuple moves
+compare equal to their tuple form, and every kernel's ``apply`` coerces
+plain tuples), and seeds travel as ``(master_seed, path)`` label tuples, so
+no game or library class is ever serialised on the hot path.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import queue as _queue
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.counters import WorkCounter
+from repro.core.nested import evaluate_move, nested_search
+from repro.core.sample import sample
+from repro.games.base import GameState, Move, decode_state
+from repro.prng import SeedSequence
+
+__all__ = ["PersistentWorkerPool", "shared_pool", "close_shared_pool"]
+
+#: Worker-side decoded-position cache size (distinct encoded blobs).
+_DECODE_CACHE_LIMIT = 64
+
+
+def _plain(move: Any) -> Any:
+    """Convert a move to plain nested tuples (identity for ints/strings)."""
+    if isinstance(move, tuple):
+        return tuple(_plain(v) for v in move)
+    return move
+
+
+def _worker_main(tasks: Any, results: Any) -> None:
+    """Worker loop: decode positions from wire frames and evaluate candidates."""
+    decode_cache: Dict[bytes, GameState] = {}
+    while True:
+        message = tasks.get()
+        if message is None:
+            break
+        job_id, blob, kind, move, level, master_seed, path = message
+        try:
+            state = decode_cache.get(blob)
+            if state is None:
+                if len(decode_cache) >= _DECODE_CACHE_LIMIT:
+                    decode_cache.clear()
+                state = decode_cache[blob] = decode_state(blob)
+            seeds = SeedSequence(master_seed, *path)
+            if kind == "eval":
+                result = evaluate_move(state, move, level, seeds)
+                work_units = float(result.work.moves)
+            else:  # "search": a full client job from the decoded position
+                counter = WorkCounter()
+                if level <= 0:
+                    result = sample(state, seeds=seeds, counter=counter)
+                else:
+                    result = nested_search(state, level, seeds, counter=counter)
+                work_units = float(counter.moves)
+            sequence = tuple(_plain(m) for m in result.sequence)
+            results.put(("ok", job_id, result.score, sequence, work_units))
+        except BaseException as exc:  # surface instead of deadlocking the caller
+            results.put(("err", job_id, f"{type(exc).__name__}: {exc}", (), 0.0))
+
+
+class PersistentWorkerPool:
+    """A pool of long-lived evaluation workers fed by compact wire frames.
+
+    Unlike ``multiprocessing.Pool``, the pool is meant to outlive a single
+    search: create it once (or use :func:`shared_pool`) and every
+    :meth:`evaluate_candidates` call reuses the same worker processes.
+    """
+
+    def __init__(self, n_workers: Optional[int] = None, start_method: Optional[str] = None):
+        if n_workers is not None and n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
+        context = multiprocessing.get_context(start_method) if start_method else multiprocessing
+        self._tasks = context.Queue()
+        self._results = context.Queue()
+        self._workers = [
+            context.Process(target=_worker_main, args=(self._tasks, self._results), daemon=True)
+            for _ in range(self.n_workers)
+        ]
+        for w in self._workers:
+            w.start()
+        self._next_id = 0
+        self._closed = False
+        #: total candidate evaluations executed (for reporting)
+        self.jobs_executed = 0
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def evaluate_candidates(
+        self,
+        state: GameState,
+        evaluations: Sequence[Tuple[int, Move, SeedSequence]],
+        level: int,
+    ) -> List[Tuple[int, float, Tuple[Move, ...], float]]:
+        """Evaluate candidate moves of ``state`` at ``level`` on the workers.
+
+        ``evaluations`` are ``(candidate_index, move, child_seeds)`` triples
+        (the shape produced by
+        :func:`repro.core.nested.candidate_evaluations`); the result is
+        ``(candidate_index, score, sequence, work_units)`` in input order.
+        The position is encoded **once** and shared by every candidate's
+        message; per-candidate messages (rather than per-worker chunks) keep
+        the load balanced when playout costs vary wildly.
+        """
+        if self._closed:
+            raise RuntimeError("the worker pool has been closed")
+        if not evaluations:
+            return []
+        blob = state.encode()
+        pending: Dict[int, int] = {}
+        for index, move, child_seeds in evaluations:
+            job_id = self._next_id
+            self._next_id += 1
+            pending[job_id] = index
+            self._tasks.put(
+                (job_id, blob, "eval", _plain(move), level, child_seeds.master_seed, child_seeds.path)
+            )
+        outcomes: Dict[int, Tuple[float, Tuple[Move, ...], float]] = {}
+        while pending:
+            try:
+                status, job_id, score, sequence, work_units = self._results.get(timeout=600.0)
+            except _queue.Empty:
+                self._reap()
+                raise RuntimeError("worker pool timed out waiting for results")
+            if status != "ok":
+                self._reap()
+                raise RuntimeError(f"worker job failed: {score}")
+            outcomes[pending.pop(job_id)] = (score, sequence, work_units)
+        self.jobs_executed += len(evaluations)
+        return [
+            (index, *outcomes[index])
+            for index, _, _ in evaluations
+        ]
+
+    def evaluate_one(self, state: GameState, move: Move, level: int, seeds: SeedSequence) -> Tuple[float, Tuple[Move, ...], float]:
+        """Evaluate a single candidate (``(score, sequence, work_units)``)."""
+        ((_, score, sequence, work_units),) = self.evaluate_candidates(
+            state, [(0, move, seeds)], level
+        )
+        return score, sequence, work_units
+
+    def run_search(
+        self, state: GameState, level: int, seeds: SeedSequence
+    ) -> Tuple[float, Tuple[Move, ...], float]:
+        """Run one full client job — a level-``level`` search from ``state`` —
+        on a worker, returning ``(score, sequence, work_units)``.
+
+        This is the unit shape of :class:`repro.parallel.jobs.JobExecutor`,
+        so the simulated cluster's real work can be executed out-of-process
+        through the same wire protocol (see
+        :class:`repro.parallel.jobs.PooledJobExecutor`).
+        """
+        if self._closed:
+            raise RuntimeError("the worker pool has been closed")
+        job_id = self._next_id
+        self._next_id += 1
+        self._tasks.put(
+            (job_id, state.encode(), "search", None, level, seeds.master_seed, seeds.path)
+        )
+        while True:
+            try:
+                status, got_id, score, sequence, work_units = self._results.get(timeout=600.0)
+            except _queue.Empty:
+                self._reap()
+                raise RuntimeError("worker pool timed out waiting for results")
+            if status != "ok":
+                self._reap()
+                raise RuntimeError(f"worker job failed: {score}")
+            if got_id == job_id:
+                self.jobs_executed += 1
+                return score, sequence, work_units
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def alive(self) -> bool:
+        """True while the pool is open and every worker process lives."""
+        return not self._closed and all(w.is_alive() for w in self._workers)
+
+    def _reap(self) -> None:
+        for w in self._workers:
+            if w.is_alive():
+                w.terminate()
+        self._closed = True
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            try:
+                self._tasks.put(None)
+            except (OSError, ValueError):  # pragma: no cover - defensive
+                break
+        for w in self._workers:
+            w.join(timeout=5.0)
+            if w.is_alive():  # pragma: no cover - defensive
+                w.terminate()
+        self._tasks.close()
+        self._results.close()
+
+    def __enter__(self) -> "PersistentWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - defensive
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+_SHARED: Optional[PersistentWorkerPool] = None
+
+
+def shared_pool(n_workers: Optional[int] = None) -> PersistentWorkerPool:
+    """The process-wide persistent pool, (re)created on size change or death.
+
+    This is what makes the pool *persistent across searches*: every caller
+    that does not manage its own pool shares these workers, so repeated
+    searches / benchmark iterations pay the process spawn cost once.
+    """
+    global _SHARED
+    wanted = n_workers if n_workers is not None else (os.cpu_count() or 1)
+    if _SHARED is None or not _SHARED.alive or _SHARED.n_workers != wanted:
+        if _SHARED is not None:
+            _SHARED.close()
+        _SHARED = PersistentWorkerPool(n_workers=wanted)
+    return _SHARED
+
+
+def close_shared_pool() -> None:
+    """Tear down the process-wide pool (also registered at interpreter exit)."""
+    global _SHARED
+    if _SHARED is not None:
+        _SHARED.close()
+        _SHARED = None
+
+
+atexit.register(close_shared_pool)

@@ -28,13 +28,44 @@ run of the benchmark harness.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Optional
 
-__all__ = ["CostModel", "calibrate_from_reference", "DEFAULT_UNITS_PER_GHZ"]
+__all__ = [
+    "CostModel",
+    "calibrate_from_reference",
+    "DEFAULT_UNITS_PER_GHZ",
+    "CALIBRATED_UNITS_PER_GHZ",
+    "calibrated_units_per_ghz",
+]
 
 #: Default work-unit rate: move applications per second per GHz of clock.
 #: Chosen so a 1.86 GHz node performs ~650k move applications per second,
 #: in the ballpark of the authors' C implementation on their hardware.
 DEFAULT_UNITS_PER_GHZ: float = 350_000.0
+
+#: Per-workload rates measured with the rollout profiler on this library's
+#: own kernels (``repro profile``, see benchmarks/results/BENCH_rollout_hotpath.json):
+#: ``measured units/s ÷ REFERENCE_FREQ_GHZ`` from the committed pre-refactor
+#: baseline.  These are *pinned as data* on each registered workload
+#: (``Workload.units_per_ghz``) for consumers that want the simulated clock
+#: to track what the Python kernels actually cost, e.g. profiler drift
+#: reports.  The :class:`CostModel` default stays at
+#: :data:`DEFAULT_UNITS_PER_GHZ` — the kernel-regression goldens
+#: (Tables II–VI) are expressed on that paper-calibrated scale and must not
+#: move when the kernels get faster.
+CALIBRATED_UNITS_PER_GHZ: Dict[str, float] = {
+    "morpion-bench": 2271.2,
+    "samegame": 792.5,
+    "tsp": 22261.8,
+    "sop": 8339.5,
+    "weakschur": 38250.9,
+    "leftmove": 49304.8,
+}
+
+
+def calibrated_units_per_ghz(workload_name: str) -> Optional[float]:
+    """The measured per-GHz work rate for a named workload, if calibrated."""
+    return CALIBRATED_UNITS_PER_GHZ.get(workload_name)
 
 
 @dataclass(frozen=True)

@@ -17,7 +17,7 @@ columns at that scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional
 
 from repro.games.base import GameState
@@ -28,6 +28,7 @@ from repro.games.samegame import SameGameState
 from repro.games.sop import SOPInstance, SOPState
 from repro.games.tsp import TSPInstance, TSPState
 from repro.games.weakschur import WeakSchurState
+from repro.timemodel.cost import calibrated_units_per_ghz
 
 __all__ = ["Workload", "WORKLOADS", "get_workload", "morpion_bench_state", "list_workloads"]
 
@@ -48,6 +49,12 @@ class Workload:
     paper_level_low / paper_level_high:
         The paper levels this workload's columns correspond to (for report
         labelling only).
+    units_per_ghz:
+        Measured per-GHz work rate of this workload's playouts on the Python
+        kernels (from the committed rollout-hotpath baseline), pinned at
+        registration, or ``None`` when uncalibrated.  Purely informational
+        data for opt-in consumers (e.g. profiler drift reports); the
+        engine's simulated clock keeps its paper-calibrated default.
     """
 
     name: str
@@ -57,10 +64,21 @@ class Workload:
     high_level: int = 3
     paper_level_low: int = 3
     paper_level_high: int = 4
+    units_per_ghz: Optional[float] = None
+    #: Lazily-built template position: every factory here is deterministic,
+    #: so ``state()`` can construct once and hand out copies.  This matters
+    #: for workloads whose construction dwarfs a playout (full Morpion's
+    #: initial legal-move scan, TSP's distance matrix).
+    _template: Dict[str, GameState] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     def state(self) -> GameState:
-        """A fresh initial position for this workload."""
-        return self.make_state()
+        """A fresh initial position for this workload (a copy of a cached template)."""
+        template = self._template.get("state")
+        if template is None:
+            template = self._template["state"] = self.make_state()
+        return template.copy()
 
 
 def morpion_bench_state(max_moves: Optional[int] = 20) -> MorpionState:
@@ -156,6 +174,15 @@ WORKLOADS: Dict[str, Workload] = {
         high_level=3,
     ),
 }
+
+
+# Pin the measured per-GHz rates (from the committed rollout-hotpath
+# baseline) onto the registered workloads as plain data.
+for _name in list(WORKLOADS):
+    _rate = calibrated_units_per_ghz(_name)
+    if _rate is not None:
+        WORKLOADS[_name] = replace(WORKLOADS[_name], units_per_ghz=_rate)
+del _name, _rate
 
 
 def get_workload(name: str) -> Workload:

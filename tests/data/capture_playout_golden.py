@@ -1,0 +1,80 @@
+"""Capture seeded playout goldens for the game-kernel fast-path rewrite.
+
+Run from the repository root (``PYTHONPATH=src python tests/data/capture_playout_golden.py``)
+against a **known-good** implementation of the game kernels; the output
+``tests/data/playout_golden.json`` pins, for every workload of the default
+profiling roster, the exact move sequence and score of a handful of seeded
+random playouts.  ``tests/test_playout_golden.py`` replays these and demands
+bit-identical behaviour, which is what allows the kernels to be rewritten for
+speed (flat bytearray boards, incremental caches, specialised playout loops)
+without any risk of silently changing what the searches compute.
+
+The seed derivation matches the profiler's per-playout scheme: playout ``i``
+of game ``g`` draws from ``SeedSequence(master, "golden", g).child("playout", i)``,
+so the goldens are placement- and order-independent.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.counters import WorkCounter
+from repro.games.base import playout_from
+from repro.prng import SeedSequence
+
+MASTER_SEED = 0
+PLAYOUTS_PER_GAME = 6
+
+#: The profiler's default roster (kept literal so the capture is stable even
+#: if the roster changes later).
+GAMES = (
+    "morpion-bench",
+    "morpion-small",
+    "morpion-5d",
+    "samegame",
+    "tsp",
+    "sop",
+    "weakschur",
+    "leftmove",
+)
+
+
+def capture() -> dict:
+    from repro.workloads import get_workload
+
+    games = {}
+    for name in GAMES:
+        workload = get_workload(name)
+        seeds = SeedSequence(MASTER_SEED, "golden", name)
+        playouts = []
+        for i in range(PLAYOUTS_PER_GAME):
+            state = workload.state()
+            initial_legal = [repr(m) for m in state.legal_moves()]
+            counter = WorkCounter()
+            score, moves = playout_from(state, seeds.child("playout", i).rng(), counter)
+            playouts.append(
+                {
+                    "seed_path": ["golden", name, "playout", i],
+                    "initial_legal_moves": initial_legal,
+                    "moves": [repr(m) for m in moves],
+                    "score": score,
+                    "work_units": counter.moves,
+                    "final_moves_played": state.moves_played(),
+                }
+            )
+        games[name] = playouts
+    return {
+        "schema": "repro.tests.playout_golden.v1",
+        "master_seed": MASTER_SEED,
+        "playouts_per_game": PLAYOUTS_PER_GAME,
+        "games": games,
+    }
+
+
+if __name__ == "__main__":
+    out = Path(__file__).parent / "playout_golden.json"
+    document = capture()
+    out.write_text(json.dumps(document, indent=1) + "\n", encoding="utf-8")
+    total = sum(len(v) for v in document["games"].values())
+    print(f"captured {total} playouts over {len(document['games'])} games -> {out}")

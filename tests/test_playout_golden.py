@@ -1,0 +1,65 @@
+"""Seeded playout goldens: the fast kernels must not change what playouts do.
+
+``tests/data/playout_golden.json`` was captured from the pre-refactor
+(copy-light, pure-Python-dict) game kernels with
+``tests/data/capture_playout_golden.py``.  Every workload of the profiling
+roster must reproduce the exact initial legal-move list, move sequence, score
+and work-unit count of each seeded playout — bit-identical, no tolerance.
+This is the contract that makes the bytearray/incremental kernel rewrites
+safe: any divergence in move ordering, rng consumption or scoring trips here
+before it can silently skew a search result.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.counters import WorkCounter
+from repro.games.base import playout_from, random_playout
+from repro.prng import SeedSequence
+from repro.workloads import get_workload
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "playout_golden.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+CASES = [
+    (name, i, playout)
+    for name, playouts in GOLDEN["games"].items()
+    for i, playout in enumerate(playouts)
+]
+
+
+@pytest.mark.parametrize(
+    "name,index,golden",
+    CASES,
+    ids=[f"{name}-p{i}" for name, i, _ in CASES],
+)
+def test_seeded_playout_matches_golden(name, index, golden):
+    workload = get_workload(name)
+    state = workload.state()
+    assert [repr(m) for m in state.legal_moves()] == golden["initial_legal_moves"]
+
+    seeds = SeedSequence(GOLDEN["master_seed"], "golden", name)
+    counter = WorkCounter()
+    score, moves = playout_from(state, seeds.child("playout", index).rng(), counter)
+
+    assert [repr(m) for m in moves] == golden["moves"]
+    assert score == golden["score"]  # bit-identical, no tolerance
+    assert counter.moves == golden["work_units"]
+    assert state.moves_played() == golden["final_moves_played"]
+
+
+def test_playout_and_random_playout_agree():
+    """The non-destructive wrapper plays the same game as the in-place hook."""
+    for name in GOLDEN["games"]:
+        workload = get_workload(name)
+        rng_seed = SeedSequence(7, "golden-agree", name).seed()
+        import random as _random
+
+        destructive = workload.state()
+        s1, m1 = destructive.playout(_random.Random(rng_seed))
+        s2, m2 = random_playout(workload.state(), _random.Random(rng_seed))
+        assert (s1, m1) == (s2, m2)
