@@ -46,6 +46,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import json
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor, as_completed
@@ -841,6 +842,8 @@ class Engine:
         store: Optional["ResultStore"] = None,
         error_policy: str = "raise",
         max_workers: Optional[int] = None,
+        executor: str = "thread",
+        chunk_size: Optional[int] = None,
         cancel: Optional[Union[threading.Event, Callable[[], bool]]] = None,
         refresh: bool = False,
     ) -> Iterator[RunEvent]:
@@ -860,14 +863,30 @@ class Engine:
             ``"raise"`` (default) re-raises a cell's exception after
             emitting its ``"failed"`` event; ``"skip"`` keeps going.
         max_workers:
-            ``None``/``1`` runs cells inline; ``> 1`` runs independent cells
-            on a thread pool (events then arrive in completion order).
-            Simulated time is unaffected by the pool — only wall time is.
+            With ``executor="thread"``: ``None``/``1`` runs cells inline,
+            ``> 1`` runs independent cells on a thread pool (events then
+            arrive in completion order).  With ``executor="process"``: the
+            worker-*process* count (``None`` = ``os.cpu_count()``).
+            Simulated time is unaffected by either pool — only wall time is.
+        executor:
+            ``"thread"`` (default) keeps the historical behaviour;
+            ``"process"`` ships cache-missing cells to the persistent
+            worker-process pool (:mod:`repro.lab.procpool`), where each
+            worker runs them through its own :class:`Engine` — CPU-bound
+            cells then scale past the GIL.  Cache hits still short-circuit
+            in the parent and results are written to the store exactly once,
+            by the parent.  An engine constructed with a custom
+            ``executor=`` :class:`~repro.parallel.jobs.JobExecutor` cannot
+            use the process executor (executors don't cross processes).
+        chunk_size:
+            Cells per IPC round under ``executor="process"`` (``None`` =
+            :func:`repro.lab.procpool.auto_chunk_size`); ignored by the
+            thread executor.
         cancel:
             A :class:`threading.Event` or zero-argument callable; when set,
             no further cell starts (cells already running finish and their
-            events are delivered).  The pooled path honours this promptly
-            too: cells already submitted to the pool but not yet running
+            events are delivered).  The pooled paths honour this promptly
+            too: cells already submitted to a pool but not yet running
             re-check the flag when their turn comes and are skipped without
             executing (they emit no terminal event, so the stream may end
             with ``done < total``, exactly like the inline path).
@@ -879,6 +898,15 @@ class Engine:
             raise ValueError(f"unknown error_policy {error_policy!r}; use 'raise' or 'skip'")
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1 when given")
+        if executor not in ("thread", "process"):
+            raise ValueError(f"unknown executor {executor!r}; use 'thread' or 'process'")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 when given")
+        if executor == "process" and self.executor is not None:
+            raise ValueError(
+                "executor='process' cannot ship a custom JobExecutor to worker "
+                "processes; use the default per-workload executors or executor='thread'"
+            )
         if cancel is None:
             cancelled = lambda: False  # noqa: E731 - tiny local predicate
         elif isinstance(cancel, threading.Event):
@@ -888,6 +916,12 @@ class Engine:
         batch = [self._storable_spec(spec) for spec in self._expand_batch(specs)]
         total = len(batch)
         store = self._store_for(store)
+        if executor == "process":
+            yield from self._stream_process(
+                batch, total, store, error_policy, max_workers, cancelled, refresh,
+                chunk_size,
+            )
+            return
         if max_workers is not None and max_workers > 1:
             yield from self._stream_pooled(
                 batch, total, store, error_policy, max_workers, cancelled, refresh
@@ -994,6 +1028,120 @@ class Engine:
             return _CELL_SKIPPED
         return self.run(spec)
 
+    def _stream_process(
+        self,
+        batch: List[SearchSpec],
+        total: int,
+        store: Optional["ResultStore"],
+        error_policy: str,
+        max_workers: Optional[int],
+        cancelled: Callable[[], bool],
+        refresh: bool,
+        chunk_size: Optional[int],
+    ) -> Iterator[RunEvent]:
+        """Worker-*process* variant of :meth:`stream` (completion-order events).
+
+        Cache hits resolve up front in the parent; remaining cells are
+        serialised (``spec.to_dict()``) and shipped to the shared
+        :class:`~repro.lab.procpool.SweepWorkerPool` in chunks of
+        ``chunk_size`` (``"started"`` is emitted at submission, mirroring
+        the thread pool).  Workers return report dicts; the *parent* decodes
+        them, emits the terminal events, and writes the store — one writer
+        per batch, so the event contract and the results-written-once
+        guarantee are identical to the thread path.  Failures come back as
+        :class:`~repro.lab.procpool.RemoteCellError`; with
+        ``error_policy="raise"`` the first one cancels the rest of the
+        batch, the stream drains fully, then re-raises.  Child obs
+        snapshots are folded into the parent registry per chunk.
+        """
+        from repro.lab.procpool import (
+            RemoteCellError,
+            auto_chunk_size,
+            shared_sweep_pool,
+        )
+
+        done = 0
+        pending: List[Tuple[int, SearchSpec]] = []
+        for index, spec in enumerate(batch):
+            if store is not None and not refresh:
+                report = store.get(spec)
+                if report is not None:
+                    done += 1
+                    _CELL_EVENTS["cached"].inc()
+                    yield RunEvent("cached", index, total, spec, report=report, done=done)
+                    continue
+            pending.append((index, spec))
+        if not pending:
+            return
+        n_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        pool = shared_sweep_pool(n_workers)
+        size = chunk_size if chunk_size is not None else auto_chunk_size(
+            len(pending), pool.n_workers
+        )
+        obs_on = _obs_enabled()
+        specs_by_index = dict(pending)
+        first_error: Optional[BaseException] = None
+        batch_id = pool.begin_batch()
+        try:
+            outstanding_cells: set = set()
+            outstanding_chunks = 0
+            for start in range(0, len(pending), size):
+                if cancelled():
+                    break
+                chunk = pending[start : start + size]
+                for index, spec in chunk:
+                    _CELL_EVENTS["started"].inc()
+                    yield RunEvent("started", index, total, spec, done=done)
+                    outstanding_cells.add(index)
+                pool.submit_chunk(
+                    batch_id,
+                    [(index, spec.to_dict()) for index, spec in chunk],
+                    obs_on,
+                    self.network,
+                )
+                outstanding_chunks += 1
+            propagated = False
+            while outstanding_cells or outstanding_chunks:
+                if not propagated and (cancelled() or first_error is not None):
+                    pool.cancel_batch()
+                    propagated = True
+                frame = pool.next_frame(batch_id)
+                if frame is None:
+                    continue
+                if frame[0] == "chunk":
+                    outstanding_chunks -= 1
+                    if frame[2] is not None:
+                        _obs_metrics.merge_snapshot(frame[2])
+                    continue
+                _, _, index, status, payload = frame
+                outstanding_cells.discard(index)
+                spec = specs_by_index[index]
+                if status == "skip":
+                    continue  # cancelled before starting: no terminal event
+                if status == "err":
+                    error: BaseException = RemoteCellError(payload)
+                    done += 1
+                    _CELL_EVENTS["failed"].inc()
+                    yield RunEvent("failed", index, total, spec, error=error, done=done)
+                    if error_policy == "raise" and first_error is None:
+                        first_error = error
+                    continue
+                report = RunReport.from_dict(payload)
+                if store is not None:
+                    store.put(spec, report)
+                done += 1
+                _CELL_EVENTS["completed"].inc()
+                yield RunEvent("completed", index, total, spec, report=report, done=done)
+        finally:
+            # An abandoned generator (consumer stopped iterating) leaves cells
+            # in flight; cancel them so they drain as skips — their stale
+            # frames are dropped by the next batch's next_frame guard.
+            if outstanding_cells or outstanding_chunks:
+                pool.cancel_batch()
+            pool.end_batch()
+        if first_error is not None:
+            raise first_error
+
     def run_many(
         self,
         specs: BatchInput,
@@ -1002,15 +1150,19 @@ class Engine:
         on_event: Optional[Callable[[RunEvent], None]] = None,
         error_policy: str = "raise",
         max_workers: Optional[int] = None,
+        executor: str = "thread",
+        chunk_size: Optional[int] = None,
         cancel: Optional[Union[threading.Event, Callable[[], bool]]] = None,
         refresh: bool = False,
     ) -> List[RunReport]:
         """Execute a batch (or a whole :class:`SweepSpec`) and return its reports.
 
         A thin collector over :meth:`stream`: reports come back in cell
-        order whatever ``max_workers`` is, cells that failed under
-        ``error_policy="skip"`` are absent, and ``on_event`` observes every
-        :class:`RunEvent` as it happens (progress callbacks, logging, ...).
+        order whatever ``max_workers``/``executor`` is, cells that failed
+        under ``error_policy="skip"`` are absent, and ``on_event`` observes
+        every :class:`RunEvent` as it happens (progress callbacks, logging,
+        ...).  ``executor="process"`` runs cells on the persistent
+        worker-process pool (see :meth:`stream`).
         """
         reports: Dict[int, RunReport] = {}
         for event in self.stream(
@@ -1018,6 +1170,8 @@ class Engine:
             store=store,
             error_policy=error_policy,
             max_workers=max_workers,
+            executor=executor,
+            chunk_size=chunk_size,
             cancel=cancel,
             refresh=refresh,
         ):

@@ -155,6 +155,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, help="run independent cells on a thread pool this size"
     )
     p.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run cells on a persistent pool of N worker processes (GIL-free; "
+        "mutually exclusive with --workers)",
+    )
+    p.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="CELLS",
+        help="cells per IPC round with --processes (default: auto)",
+    )
+    p.add_argument(
         "--error-policy",
         choices=("raise", "skip"),
         default="raise",
@@ -171,6 +186,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=7171, help="TCP bind port (0 = ephemeral)")
     p.add_argument("--socket", default=None, help="serve on this unix socket path instead of TCP")
     p.add_argument("--workers", type=int, default=2, help="persistent worker threads")
+    p.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="execute each job's cells on a pool of N worker processes (GIL-free)",
+    )
     p.add_argument("--queue-depth", type=int, default=64, help="max pending jobs before backpressure rejections")
     p.add_argument("--rate", type=float, default=None, help="per-client token-bucket refill (submissions/second)")
     p.add_argument("--burst", type=float, default=None, help="per-client token-bucket capacity (default max(1, rate))")
@@ -392,6 +414,12 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
     if args.force and args.resume:
         _print_error("error: --force and --resume are mutually exclusive")
         return 2
+    if args.processes is not None and args.workers is not None:
+        _print_error("error: --processes and --workers are mutually exclusive")
+        return 2
+    if args.chunk_size is not None and args.processes is None:
+        _print_error("error: --chunk-size only applies with --processes")
+        return 2
     try:
         text = args.spec
         if not text.lstrip().startswith("{"):
@@ -413,7 +441,9 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
             sweep,
             store=store,
             error_policy=args.error_policy,
-            max_workers=args.workers,
+            max_workers=args.processes if args.processes is not None else args.workers,
+            executor="process" if args.processes is not None else "thread",
+            chunk_size=args.chunk_size,
             refresh=args.force,
         ):
             counts[event.kind] += 1
@@ -492,6 +522,8 @@ def _serve_command(args: argparse.Namespace) -> int:
             queue_depth=args.queue_depth,
             rate=args.rate,
             burst=args.burst,
+            cell_executor="process" if args.processes is not None else "thread",
+            cell_workers=args.processes,
         )
     except ValueError as exc:
         _print_error(f"error: {exc}")
@@ -511,9 +543,10 @@ def _serve_command(args: argparse.Namespace) -> int:
     if args.json:
         _print_json({"address": address, "store": args.store, "workers": args.workers})
         sys.stdout.flush()
+    processes = f", processes={args.processes}" if args.processes is not None else ""
     _print_error(
         f"repro service listening on {address} "
-        f"(workers={args.workers}, queue_depth={args.queue_depth}, "
+        f"(workers={args.workers}{processes}, queue_depth={args.queue_depth}, "
         f"store={args.store or 'none'}); submit with: repro submit --connect {address} ..."
     )
     try:

@@ -10,7 +10,10 @@ is what every table of the paper actually is:
   keyed by :func:`~repro.lab.keys.spec_key`, so re-runs skip completed cells
   and interrupted sweeps resume for free;
 * :mod:`repro.lab.export` — flat JSON/CSV rows that
-  :func:`repro.analysis.tables.pivot_table` renders directly.
+  :func:`repro.analysis.tables.pivot_table` renders directly;
+* :mod:`repro.lab.procpool` — the persistent worker-process pool behind
+  ``Engine.stream(executor="process")`` / ``repro sweep --processes``, so
+  CPU-bound grids scale past the GIL (see ``docs/SWEEPS.md``).
 
 Execution lives on the engine: ``Engine.run_many(sweep, store=...)`` and the
 streaming ``Engine.stream(...)`` event iterator (see :mod:`repro.api`).
@@ -25,6 +28,13 @@ streaming ``Engine.stream(...)`` event iterator (see :mod:`repro.api`).
 """
 
 from repro.lab.keys import CODE_VERSION, spec_key
+from repro.lab.procpool import (
+    RemoteCellError,
+    SweepWorkerPool,
+    auto_chunk_size,
+    close_shared_sweep_pool,
+    shared_sweep_pool,
+)
 from repro.lab.sweep import SweepCell, SweepSpec
 from repro.lab.store import ResultStore, StoreRecord
 from repro.lab.export import (
@@ -43,6 +53,11 @@ __all__ = [
     "SweepCell",
     "ResultStore",
     "StoreRecord",
+    "SweepWorkerPool",
+    "RemoteCellError",
+    "auto_chunk_size",
+    "shared_sweep_pool",
+    "close_shared_sweep_pool",
     "ROW_FIELDS",
     "row_from_report",
     "rows_from_reports",

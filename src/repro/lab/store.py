@@ -33,6 +33,11 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
+try:  # POSIX advisory locking; the claim-file fallback covers the rest
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
 from repro.api import RunReport, SearchSpec
 from repro.lab.keys import CODE_VERSION, spec_key
 from repro.obs import metrics as _obs_metrics
@@ -51,7 +56,7 @@ _STORE_WRITES = _obs_metrics.counter(
 )
 _STORE_LOCK_WAIT = _obs_metrics.histogram(
     "repro_store_lock_wait_seconds",
-    "time ResultStore.put waited for the process-wide write lock",
+    "time ResultStore.put waited for the write locks (thread + inter-process)",
     buckets=(0.0001, 0.001, 0.01, 0.1, 1.0, 10.0),
 )
 
@@ -59,11 +64,79 @@ _STORE_LOCK_WAIT = _obs_metrics.histogram(
 StoreRecord = Dict[str, Any]
 
 #: Per-process write lock shared by every :class:`ResultStore` instance.
-#: ``os.replace`` keeps writes atomic across *processes*; this lock keeps the
-#: mkstemp/dump/replace path serialised across *threads* of one process (the
-#: service's worker pool races ``put`` on the same key), so concurrent writers
-#: degrade to last-writer-wins instead of interleaving temp-file churn.
+#: This keeps the mkstemp/dump/replace path serialised across *threads* of
+#: one process (the service's worker pool races ``put`` on the same key); the
+#: :class:`_InterProcessFileLock` below extends the same guarantee across
+#: *processes* (two ``repro sweep`` invocations, or a sweep racing a server,
+#: sharing one store), so concurrent writers degrade to last-writer-wins
+#: instead of interleaving temp-file churn.  ``os.replace`` keeps each
+#: individual write atomic regardless.
 _WRITE_LOCK = threading.Lock()
+
+#: Seconds after which a claim file left by a killed process (claim-file
+#: fallback only — ``flock`` locks die with their holder) is treated as stale
+#: and broken.  Well above any single record write, well below a human retry.
+_CLAIM_STALE_S = 30.0
+
+
+class _InterProcessFileLock:
+    """An advisory cross-process mutex on ``<root>/.lock``.
+
+    On POSIX this is ``fcntl.flock(LOCK_EX)`` — kernel-mediated, released
+    automatically when the holding process dies, zero polling.  Where
+    ``fcntl`` is unavailable it degrades to an ``O_EXCL`` claim-file spin:
+    atomically create ``<root>/.lock.claim`` to acquire, unlink to release,
+    break claims older than :data:`_CLAIM_STALE_S` (a killed writer must not
+    wedge the store forever).
+
+    Callers must serialise *threads* themselves (``put`` holds
+    :data:`_WRITE_LOCK` around this lock): ``flock`` is per open file
+    description, so two threads of one process would not exclude each other
+    through it.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._fd: Optional[int] = None
+        self._claim: Optional[Path] = None
+
+    def __enter__(self) -> "_InterProcessFileLock":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if fcntl is not None:
+            self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+            return self
+        claim = self.path.with_name(self.path.name + ".claim")
+        while True:  # pragma: no cover - exercised only without fcntl
+            try:
+                fd = os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+                os.close(fd)
+                self._claim = claim
+                return self
+            except FileExistsError:
+                try:
+                    age = time.time() - claim.stat().st_mtime
+                except OSError:  # holder released between open and stat
+                    continue
+                if age > _CLAIM_STALE_S:
+                    try:
+                        claim.unlink()
+                    except OSError:
+                        pass
+                    continue
+                time.sleep(0.005)
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._fd is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_UN)
+            os.close(self._fd)
+            self._fd = None
+        if self._claim is not None:  # pragma: no cover - fcntl-less fallback
+            try:
+                self._claim.unlink()
+            except OSError:
+                pass
+            self._claim = None
 
 
 class ResultStore:
@@ -82,6 +155,8 @@ class ResultStore:
     def __init__(self, root: Union[str, Path], *, salt: str = CODE_VERSION) -> None:
         self.root = Path(root)
         self.salt = salt
+        # Lives outside the ??/ record fan-out, so keys() never sees it.
+        self._iplock = _InterProcessFileLock(self.root / ".lock")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultStore({str(self.root)!r}, salt={self.salt!r})"
@@ -173,7 +248,7 @@ class ResultStore:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         lock_wait_start = time.perf_counter()
-        with _WRITE_LOCK:
+        with _WRITE_LOCK, self._iplock:
             _STORE_LOCK_WAIT.observe(time.perf_counter() - lock_wait_start)
             fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp")
             try:

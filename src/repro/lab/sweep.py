@@ -24,6 +24,13 @@ the grid and the engine's job cache is shared (the paper's tables compare
 *times* of the same search).  ``repeats=k`` adds an outermost repetition axis
 whose seeds are derived from the base seed with :func:`repro.prng.derive_seed`,
 for sweeps that want score statistics instead.
+
+Cells are independent by construction (each is a complete, serialisable
+:class:`~repro.api.SearchSpec`), which is what lets the engine execute a grid
+on a thread pool (``Engine.stream(..., max_workers=N)``) or shard it across
+the persistent worker-*process* pool (``executor="process"`` /
+``repro sweep --processes N``; see :mod:`repro.lab.procpool`) with results
+identical to serial execution.
 """
 
 from __future__ import annotations

@@ -457,6 +457,85 @@ class MetricsRegistry:
             with family._lock:
                 family._series.clear()
 
+    # ------------------------------------------------------------------ #
+    # Cross-process merging
+    # ------------------------------------------------------------------ #
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        This is how child *processes* report home: a sweep worker snapshots
+        its own registry after each chunk, ships the JSON over the result
+        queue, and the parent merges it here so ``repro stats`` counts work
+        done anywhere in the process tree.  Semantics per metric type:
+
+        * **counters** and **histograms** are additive — every bucket/sum/
+          count/value in the snapshot is added to the local series (the
+          caller must therefore send *deltas*, i.e. reset the child registry
+          after each snapshot, or the same work is double-counted);
+        * **gauges** take the incoming value (a level, not an increment).
+
+        Families absent locally are registered from the snapshot's own
+        metadata (type/help/labelnames/buckets); a family that exists with a
+        conflicting shape raises, same as live re-registration.  Series are
+        mutated directly under the family lock, so merged values land even
+        while recording is disabled — a disabled parent still reflects an
+        enabled child's telemetry truthfully.
+        """
+        for name, data in snapshot.items():
+            kind = data.get("type")
+            labelnames = tuple(data.get("labelnames", ()))
+            help_text = data.get("help", "")
+            if kind == "counter":
+                family: _Family = self.counter(name, help_text, labelnames)
+            elif kind == "gauge":
+                family = self.gauge(name, help_text, labelnames)
+            elif kind == "histogram":
+                family = self.histogram(
+                    name, help_text, labelnames, tuple(data.get("buckets", DEFAULT_BUCKETS))
+                )
+            else:
+                raise ValueError(f"cannot merge metric {name!r} of unknown type {kind!r}")
+            for entry in data.get("values", ()):
+                labels = entry.get("labels", {})
+                key = tuple(str(labels.get(n, "")) for n in labelnames)
+                if isinstance(family, Histogram):
+                    deltas = _histogram_series_from(family, entry)
+                    with family._lock:
+                        series = family._series.get(key)
+                        if series is None:
+                            series = family._series[key] = family._new_series()
+                        for i, delta in enumerate(deltas):
+                            series[i] += delta
+                elif isinstance(family, Gauge):
+                    with family._lock:
+                        family._series[key] = float(entry["value"])
+                else:
+                    with family._lock:
+                        family._series[key] = family._series.get(key, 0.0) + float(
+                            entry["value"]
+                        )
+
+
+def _histogram_series_from(family: Histogram, entry: Mapping[str, Any]) -> List[float]:
+    """Raw storage deltas (per-bucket, +Inf, sum, count) of one snapshot entry.
+
+    Snapshots render *cumulative* ``le`` counts; merging needs the per-bucket
+    increments back, so this undoes the running sum against the family's own
+    boundaries (snapshot and family buckets are guaranteed to match — a shape
+    conflict would have raised at registration).
+    """
+    cumulative = entry.get("buckets", {})
+    raw: List[float] = []
+    running = 0.0
+    for boundary in family.buckets:
+        value = float(cumulative.get(_fmt(boundary), running))
+        raw.append(value - running)
+        running = value
+    raw.append(float(cumulative.get("+Inf", running)) - running)
+    raw.append(float(entry.get("sum", 0.0)))
+    raw.append(float(entry.get("count", 0.0)))
+    return raw
+
 
 _DEFAULT_REGISTRY = MetricsRegistry()
 

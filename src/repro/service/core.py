@@ -71,6 +71,14 @@ class ServiceConfig:
     ``queue_depth`` bounds pending jobs — submissions beyond it are rejected
     with ``queue_full`` (backpressure).  ``drain_timeout`` caps how long
     :meth:`SearchService.shutdown` waits for in-flight work.
+
+    ``cell_executor``/``cell_workers`` choose how each job's *cells* execute
+    inside the engine: the default (``"thread"``, ``None``) runs cells
+    inline on the job's worker thread; ``cell_executor="process"`` ships
+    CPU-bound cells to the persistent worker-process pool
+    (``repro serve --processes N``), with child telemetry merged back so
+    ``repro stats`` stays truthful.  Jobs still run one-at-a-time per pool
+    batch, so two service workers never interleave result frames.
     """
 
     n_workers: int = 2
@@ -79,6 +87,8 @@ class ServiceConfig:
     burst: Optional[float] = None
     poll_interval: float = 0.05
     drain_timeout: float = 60.0
+    cell_executor: str = "thread"
+    cell_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -87,6 +97,12 @@ class ServiceConfig:
             raise ValueError("queue_depth must be >= 1")
         if self.poll_interval <= 0:
             raise ValueError("poll_interval must be > 0")
+        if self.cell_executor not in ("thread", "process"):
+            raise ValueError(
+                f"unknown cell_executor {self.cell_executor!r}; use 'thread' or 'process'"
+            )
+        if self.cell_workers is not None and self.cell_workers < 1:
+            raise ValueError("cell_workers must be >= 1 when given")
 
 
 class SearchService:
@@ -435,6 +451,8 @@ class SearchService:
                 batch,
                 store=self.store,
                 error_policy="skip",
+                max_workers=self.config.cell_workers,
+                executor=self.config.cell_executor,
                 cancel=job.cancel_event,
             ):
                 if event.kind == "failed" and event.error is not None:

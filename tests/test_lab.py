@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import multiprocessing
 import subprocess
 import sys
 import threading
@@ -194,6 +195,41 @@ class TestResultStore:
         # The cell is simply re-run on the next sweep, overwriting the junk.
         (report,) = Engine().run_many([BASE], store=store)
         assert store.get(BASE).score == report.score
+
+    def test_two_processes_hammering_one_store(self, tmp_path):
+        """Two *processes* racing ``put`` on overlapping keys (the inter-process
+        file lock's job) leave every record sound and readable."""
+        report = Engine().run(BASE)
+        procs = [
+            multiprocessing.Process(
+                target=_hammer_store_from_process,
+                args=(str(tmp_path), report.to_dict(), rounds, 10),
+            )
+            for rounds in (5, 5)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        store = ResultStore(tmp_path)
+        assert len(store) == 10  # the .lock file never shows up as a key
+        for seed in range(10):
+            loaded = store.get(BASE.replace(seed=seed))
+            assert loaded is not None
+            assert loaded.score == report.score
+
+
+def _hammer_store_from_process(root, report_dict, rounds, n_keys):
+    """Child-process body for the two-process store stress test."""
+    from repro.api import RunReport
+
+    store = ResultStore(root)
+    for _ in range(rounds):
+        for seed in range(n_keys):
+            spec = BASE.replace(seed=seed)
+            report = RunReport.from_dict(dict(report_dict, spec=spec.to_dict()))
+            store.put(spec, report)
 
 
 def _counting_algorithm(name, calls):

@@ -1,0 +1,460 @@
+"""Tests for the process-parallel sweep substrate (repro.lab.procpool).
+
+The contract under test: ``Engine.stream(..., executor="process")`` behaves
+*exactly* like the inline/thread paths — same started/cached/completed/failed
+event stream, same done/total progress, same error policies, same
+cooperative cancellation, same store records — while the cells actually
+execute in worker processes.
+
+Worker processes are forked when a pool is created, so tests that register
+test-only algorithms call ``close_shared_sweep_pool()`` first: the pool the
+engine then creates forks *after* the registration and inherits it.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.api import ALGORITHMS, Engine, SearchSpec, register_algorithm
+from repro.cluster.network import NetworkModel
+from repro.core.sample import sample
+from repro.lab import ResultStore, SweepSpec
+from repro.lab.procpool import (
+    RemoteCellError,
+    SweepWorkerPool,
+    auto_chunk_size,
+    close_shared_sweep_pool,
+    shared_sweep_pool,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+GRID = SweepSpec(
+    base=SearchSpec(workload="leftmove", backend="sim-cluster", level=2, max_steps=1),
+    axes={"workload": ("leftmove", "sop"), "dispatcher": ("rr", "lm")},
+    name="procpool-grid",
+)
+
+
+def _events(stream):
+    return list(stream)
+
+
+def _kinds(events):
+    return [event.kind for event in events]
+
+
+class TestAutoChunkSize:
+    def test_small_batches_get_single_cell_chunks(self):
+        assert auto_chunk_size(1, 4) == 1
+        assert auto_chunk_size(8, 4) == 1  # fewer cells than 4 chunks/worker
+
+    def test_large_batches_amortise_but_stay_bounded(self):
+        assert auto_chunk_size(80, 4) == 5
+        assert auto_chunk_size(100_000, 4) == 16  # capped
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            auto_chunk_size(0, 4)
+        with pytest.raises(ValueError):
+            auto_chunk_size(4, 0)
+
+
+class TestValidation:
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            _events(Engine().stream([GRID.base], executor="fibers"))
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            _events(Engine().stream([GRID.base], executor="process", chunk_size=0))
+
+    def test_custom_job_executor_cannot_cross_processes(self):
+        from repro.parallel.jobs import CachingJobExecutor
+
+        engine = Engine(executor=CachingJobExecutor())
+        with pytest.raises(ValueError, match="JobExecutor"):
+            _events(engine.stream([GRID.base], executor="process"))
+
+    def test_pool_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            SweepWorkerPool(n_workers=0)
+
+
+class TestDeterminism:
+    def test_process_sweep_matches_serial_store_records(self, tmp_path):
+        """Same seeded grid, serial vs process workers: identical keys, scores,
+        sequences, work and simulated time per key."""
+        serial_store = ResultStore(tmp_path / "serial")
+        proc_store = ResultStore(tmp_path / "proc")
+        Engine().run_many(GRID, store=serial_store)
+        Engine().run_many(
+            GRID, store=proc_store, executor="process", max_workers=2, chunk_size=1
+        )
+        assert sorted(serial_store.keys()) == sorted(proc_store.keys())
+        serial_records = {r["key"]: r for r in serial_store.records()}
+        for record in proc_store.records():
+            twin = serial_records[record["key"]]["report"]
+            report = record["report"]
+            assert report["score"] == twin["score"]
+            assert report["sequence"] == twin["sequence"]
+            assert report["work_units"] == twin["work_units"]
+            assert report["simulated_seconds"] == twin["simulated_seconds"]
+
+    def test_engine_network_model_ships_to_workers(self, tmp_path):
+        network = NetworkModel(latency_s=0.01)
+        spec = GRID.base.replace(n_clients=2)
+        serial = Engine(network=network).run(spec)
+        (proc,) = Engine(network=network).run_many(
+            [spec], executor="process", max_workers=2
+        )
+        assert proc.score == serial.score
+        assert proc.simulated_seconds == serial.simulated_seconds
+
+
+class TestEventContract:
+    def test_started_precedes_terminal_and_progress_counts(self):
+        specs = [GRID.base.replace(seed=s, backend="sequential") for s in range(5)]
+        events = _events(
+            Engine().stream(specs, executor="process", max_workers=2, chunk_size=2)
+        )
+        assert all(event.total == 5 for event in events)
+        started = [event.index for event in events if event.kind == "started"]
+        terminal = [event for event in events if event.terminal]
+        assert sorted(started) == list(range(5))
+        assert sorted(event.index for event in terminal) == list(range(5))
+        assert [event.done for event in terminal] == [1, 2, 3, 4, 5]
+        for event in terminal:
+            assert event.kind == "completed"
+            assert event.report is not None
+            # started always arrives before the cell's terminal event
+            assert started.index(event.index) < len(events)
+            assert events.index(event) > events.index(
+                next(e for e in events if e.kind == "started" and e.index == event.index)
+            )
+
+    def test_cache_hits_short_circuit_in_parent(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        engine = Engine()
+        engine.run_many(GRID, store=store, executor="process", max_workers=2)
+        pool = shared_sweep_pool(2)
+        dispatched_before = pool.cells_dispatched
+        events = _events(
+            engine.stream(GRID, store=store, executor="process", max_workers=2)
+        )
+        assert _kinds(events) == ["cached"] * len(GRID)
+        assert [event.done for event in events] == [1, 2, 3, 4]
+        # Nothing crossed the process boundary: all hits resolved in the parent.
+        assert shared_sweep_pool(2).cells_dispatched == dispatched_before
+
+    def test_refresh_forces_reexecution(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        engine = Engine()
+        engine.run_many(GRID, store=store, executor="process", max_workers=2)
+        events = _events(
+            engine.stream(
+                GRID, store=store, executor="process", max_workers=2, refresh=True
+            )
+        )
+        assert sorted(_kinds(events)) == ["completed"] * 4 + ["started"] * 4
+
+
+class TestChunking:
+    def test_explicit_chunk_size_controls_ipc_rounds(self):
+        specs = [GRID.base.replace(seed=s, backend="sequential") for s in range(8)]
+        pool = shared_sweep_pool(2)
+        chunks_before, cells_before = pool.chunks_dispatched, pool.cells_dispatched
+        events = _events(
+            Engine().stream(specs, executor="process", max_workers=2, chunk_size=3)
+        )
+        pool = shared_sweep_pool(2)
+        assert pool.chunks_dispatched - chunks_before == 3  # ceil(8 / 3)
+        assert pool.cells_dispatched - cells_before == 8
+        # Chunked dispatch never batches *events*: one frame per cell.
+        assert sorted(_kinds(events)) == ["completed"] * 8 + ["started"] * 8
+
+    def test_auto_chunk_size_is_used_by_default(self):
+        specs = [GRID.base.replace(seed=s, backend="sequential") for s in range(8)]
+        pool = shared_sweep_pool(2)
+        chunks_before = pool.chunks_dispatched
+        Engine().run_many(specs, executor="process", max_workers=2)
+        expected = auto_chunk_size(8, 2)
+        assert shared_sweep_pool(2).chunks_dispatched - chunks_before == (
+            (8 + expected - 1) // expected
+        )
+
+
+class TestErrorPolicy:
+    def _specs(self):
+        good = GRID.base.replace(backend="sequential")
+        bad = good.replace(workload="no-such-workload")
+        return [good.replace(seed=1), bad, good.replace(seed=2)]
+
+    def test_skip_keeps_sweeping_past_a_failing_cell(self):
+        events = _events(
+            Engine().stream(
+                self._specs(), executor="process", max_workers=2, error_policy="skip"
+            )
+        )
+        kinds = _kinds(events)
+        assert kinds.count("failed") == 1
+        assert kinds.count("completed") == 2
+        failed = next(event for event in events if event.kind == "failed")
+        assert failed.index == 1
+        assert isinstance(failed.error, RemoteCellError)
+        assert "no-such-workload" in str(failed.error)
+        assert max(event.done for event in events) == 3
+
+    def test_raise_emits_failed_event_then_raises_after_draining(self):
+        events = []
+        with pytest.raises(RemoteCellError, match="no-such-workload"):
+            for event in Engine().stream(
+                self._specs(), executor="process", max_workers=2, error_policy="raise"
+            ):
+                events.append(event)
+        assert _kinds(events).count("failed") == 1
+        # The pool drained cleanly and stays usable for the next batch.
+        pool = shared_sweep_pool(2)
+        assert pool.alive
+        reports = Engine().run_many(
+            [GRID.base.replace(backend="sequential")], executor="process", max_workers=2
+        )
+        assert len(reports) == 1
+
+
+def _register_gated_algorithm():
+    @register_algorithm(
+        "gated-sample",
+        description="test-only: waits for a gate file before playing out",
+        params=("gate_file", "start_file"),
+    )
+    def _gated(state, level, seeds, counter, budget, params):
+        Path(params["start_file"]).touch()
+        while not os.path.exists(params["gate_file"]):
+            time.sleep(0.005)
+        return sample(state, seeds=seeds, counter=counter)
+
+
+class TestCancellationAndResume:
+    def test_cancel_mid_sweep_drains_cleanly_then_store_resumes(self, tmp_path):
+        """Two in-flight cells finish, the rest skip without terminal events;
+        re-running the batch re-executes only the never-completed cells."""
+        close_shared_sweep_pool()  # next pool forks after the registration below
+        _register_gated_algorithm()
+        try:
+            gate = tmp_path / "gate"
+            store = ResultStore(tmp_path / "store")
+            specs = [
+                SearchSpec(
+                    workload="leftmove",
+                    algorithm="gated-sample",
+                    seed=s,
+                    params={
+                        "gate_file": str(gate),
+                        "start_file": str(tmp_path / f"start-{s}"),
+                    },
+                )
+                for s in range(6)
+            ]
+            # Cancel once (a) every chunk has been submitted — otherwise a
+            # fast worker could trip the cancel mid-submission and legally
+            # truncate the started events — and (b) two cells are provably
+            # executing in workers.
+            all_submitted = threading.Event()
+
+            def cancelled():
+                return all_submitted.is_set() and (
+                    len(list(tmp_path.glob("start-*"))) >= 2
+                )
+
+            engine = Engine()
+            pool = shared_sweep_pool(2)
+            opener = threading.Thread(
+                # Open the gate only after the parent propagated the cancel to
+                # the pool, so no third cell can ever slip in between.
+                target=lambda: (pool._cancel.wait(), gate.touch()),
+                daemon=True,
+            )
+            opener.start()
+            events = []
+            for event in engine.stream(
+                specs,
+                store=store,
+                executor="process",
+                max_workers=2,
+                chunk_size=1,
+                cancel=cancelled,
+                error_policy="skip",
+            ):
+                events.append(event)
+                if sum(e.kind == "started" for e in events) == len(specs):
+                    all_submitted.set()
+            opener.join(timeout=10.0)
+            assert not opener.is_alive()  # the cancel really reached the pool
+            kinds = _kinds(events)
+            assert kinds.count("started") == 6
+            assert kinds.count("completed") == 2
+            assert kinds.count("failed") == 0
+            assert max(event.done for event in events) == 2  # done < total
+            pool = shared_sweep_pool(2)
+            assert pool.alive  # drained, not wedged
+
+            # Resume: the two completed cells come back cached, zero re-runs.
+            resumed = _events(
+                engine.stream(
+                    specs, store=store, executor="process", max_workers=2, chunk_size=1
+                )
+            )
+            resumed_kinds = _kinds(resumed)
+            assert resumed_kinds.count("cached") == 2
+            assert resumed_kinds.count("started") == 4
+            assert resumed_kinds.count("completed") == 4
+            assert len(store) == 6
+        finally:
+            del ALGORITHMS["gated-sample"]
+            close_shared_sweep_pool()  # drop workers carrying the registration
+
+
+class TestObsMerge:
+    def test_child_engine_runs_surface_in_parent_registry(self):
+        close_shared_sweep_pool()  # fresh workers: inherited counters are zeroed
+        obs.enable()
+        try:
+            obs.metrics.reset()
+            specs = [
+                GRID.base.replace(seed=s, backend="sequential") for s in range(3)
+            ]
+            Engine().run_many(specs, executor="process", max_workers=2)
+            snapshot = obs.metrics.snapshot()
+            runs = snapshot["repro_engine_runs_total"]["values"]
+            # The parent never called Engine.run for these cells; the counts
+            # can only have arrived through the merged child snapshots.
+            assert sum(entry["value"] for entry in runs) == 3.0
+            assert {entry["labels"]["backend"] for entry in runs} == {"sequential"}
+            seconds = snapshot["repro_engine_run_seconds"]["values"]
+            assert sum(entry["count"] for entry in seconds) == 3.0
+            cells = {
+                entry["labels"]["kind"]: entry["value"]
+                for entry in snapshot["repro_engine_cells_total"]["values"]
+            }
+            assert cells["started"] == 3.0 and cells["completed"] == 3.0
+        finally:
+            obs.disable()
+            obs.metrics.reset()
+            close_shared_sweep_pool()
+
+
+class TestMergeSnapshot:
+    def _recording(self):
+        obs.enable()
+        return MetricsRegistry()
+
+    def test_counters_add_and_unknown_families_register(self):
+        try:
+            child = self._recording()
+            child.counter("t_jobs_total", "jobs", ("kind",)).labels(kind="a").inc(2)
+            snap = child.snapshot()
+        finally:
+            obs.disable()
+        parent = MetricsRegistry()
+        parent.merge_snapshot(snap)
+        parent.merge_snapshot(snap)  # deltas accumulate
+        assert parent.counter("t_jobs_total", labelnames=("kind",)).value(kind="a") == 4.0
+
+    def test_gauges_take_the_incoming_level(self):
+        try:
+            child = self._recording()
+            child.gauge("t_depth").set(3)
+            snap = child.snapshot()
+            parent = MetricsRegistry()
+            parent.gauge("t_depth").set(7)
+        finally:
+            obs.disable()
+        parent.merge_snapshot(snap)
+        assert parent.gauge("t_depth").value() == 3.0
+
+    def test_histograms_merge_buckets_sum_and_count(self):
+        try:
+            child = self._recording()
+            hist = child.histogram("t_seconds", buckets=(1.0, 5.0))
+            for value in (0.5, 2.0, 9.0):
+                hist.observe(value)
+            snap = child.snapshot()
+        finally:
+            obs.disable()
+        parent = MetricsRegistry()
+        parent.merge_snapshot(snap)
+        parent.merge_snapshot(snap)
+        stats = parent.histogram("t_seconds", buckets=(1.0, 5.0)).stats()
+        assert stats["count"] == 6.0
+        assert stats["sum"] == pytest.approx(23.0)
+        assert stats["buckets"] == {"1": 2.0, "5": 4.0, "+Inf": 6.0}
+
+    def test_merge_lands_even_while_disabled(self):
+        try:
+            child = self._recording()
+            child.counter("t_hits_total").inc(5)
+            snap = child.snapshot()
+        finally:
+            obs.disable()
+        parent = MetricsRegistry()
+        parent.merge_snapshot(snap)  # recording is off; merge still lands
+        assert parent.counter("t_hits_total").value() == 5.0
+
+    def test_conflicting_shape_raises(self):
+        try:
+            child = self._recording()
+            child.histogram("t_clash_seconds", buckets=(1.0,)).observe(0.5)
+            snap = child.snapshot()
+        finally:
+            obs.disable()
+        parent = MetricsRegistry()
+        parent.histogram("t_clash_seconds", buckets=(2.0,))
+        with pytest.raises(ValueError, match="different shape"):
+            parent.merge_snapshot(snap)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            MetricsRegistry().merge_snapshot({"t_bogus": {"type": "summary"}})
+
+
+class TestPoolLifecycle:
+    def test_shared_pool_recreated_on_size_change_and_death(self):
+        first = shared_sweep_pool(2)
+        assert shared_sweep_pool(2) is first
+        second = shared_sweep_pool(1)
+        assert second is not first and second.n_workers == 1
+        assert not first.alive
+        close_shared_sweep_pool()
+        assert not second.alive
+
+    def test_closed_pool_rejects_batches(self):
+        pool = SweepWorkerPool(n_workers=1)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.begin_batch()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit_chunk(1, [], False, None)
+
+    def test_context_manager_runs_one_batch(self):
+        spec = GRID.base.replace(backend="sequential")
+        with SweepWorkerPool(n_workers=1) as pool:
+            batch = pool.begin_batch()
+            try:
+                pool.submit_chunk(batch, [(0, spec.to_dict())], False, None)
+                frames = []
+                while len(frames) < 2:  # one cell frame + one chunk frame
+                    frame = pool.next_frame(batch)
+                    if frame is not None:
+                        frames.append(frame)
+            finally:
+                pool.end_batch()
+        cell = next(frame for frame in frames if frame[0] == "cell")
+        assert cell[3] == "ok"
+        assert cell[4]["spec"]["workload"] == spec.workload
